@@ -1,0 +1,422 @@
+//! A textual assembler for the simulated instruction set.
+//!
+//! The accepted syntax is exactly what [`Program`]'s `Display`
+//! implementation prints, so any program can round-trip through text —
+//! convenient for examples, golden tests, and the `pacstack-run` CLI.
+//!
+//! ```text
+//! main:
+//!     mov x0, #5
+//!     bl double
+//!     svc #0
+//! double:
+//!     add x0, x0, x0
+//!     ret
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pacstack_aarch64::asm::parse_program;
+//! use pacstack_aarch64::Cpu;
+//!
+//! let program = parse_program("main:\n    mov x0, #41\n    add x0, x0, #1\n    ret\n")?;
+//! let mut cpu = Cpu::with_seed(program, 0);
+//! assert_eq!(cpu.run(100).map(|o| o.exit_code), Ok(42));
+//! # Ok::<(), pacstack_aarch64::asm::ParseError>(())
+//! ```
+
+use crate::program::Op;
+use crate::{Cond, Instruction as I, Program, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// An assembly parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<Reg, ParseError> {
+    let token = token.trim().trim_end_matches(',');
+    match token {
+        "sp" => Ok(Reg::Sp),
+        "xzr" => Ok(Reg::Xzr),
+        "lr" => Ok(Reg::X30),
+        "fp" => Ok(Reg::X29),
+        t if t.starts_with('x') => t[1..]
+            .parse::<usize>()
+            .ok()
+            .and_then(Reg::from_index)
+            .map_or_else(|| err(line, format!("bad register {t:?}")), Ok),
+        other => err(line, format!("bad register {other:?}")),
+    }
+}
+
+fn parse_imm(token: &str, line: usize) -> Result<i64, ParseError> {
+    let t = token.trim().trim_end_matches(',');
+    let t = t.strip_prefix('#').unwrap_or(t);
+    let (neg, t) = if let Some(rest) = t.strip_prefix('-') {
+        (true, rest)
+    } else {
+        (false, t)
+    };
+    let value = if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| ParseError {
+            line,
+            message: format!("bad immediate {token:?}: {e}"),
+        })?
+    } else {
+        t.parse::<u64>().map_err(|e| ParseError {
+            line,
+            message: format!("bad immediate {token:?}: {e}"),
+        })?
+    };
+    Ok(if neg { -(value as i64) } else { value as i64 })
+}
+
+/// Parses `[reg, #imm]`, `[reg]`, `[reg, #imm]!` or `[reg], #imm` operand
+/// forms, returning (base, offset, addressing mode).
+#[derive(Debug, PartialEq, Eq)]
+enum AddrMode {
+    Offset,
+    PreIndex,
+    PostIndex,
+}
+
+fn parse_mem(rest: &str, line: usize) -> Result<(Reg, i64, AddrMode), ParseError> {
+    let rest = rest.trim();
+    let Some(open) = rest.find('[') else {
+        return err(line, format!("expected memory operand in {rest:?}"));
+    };
+    let Some(close) = rest.find(']') else {
+        return err(line, format!("unterminated memory operand in {rest:?}"));
+    };
+    let inside = &rest[open + 1..close];
+    let after = rest[close + 1..].trim();
+    let mut parts = inside.splitn(2, ',');
+    let base = parse_reg(parts.next().unwrap_or(""), line)?;
+    let inner_off = match parts.next() {
+        Some(imm) => parse_imm(imm, line)?,
+        None => 0,
+    };
+    if after == "!" {
+        Ok((base, inner_off, AddrMode::PreIndex))
+    } else if let Some(post) = after.strip_prefix(',') {
+        Ok((base, parse_imm(post, line)?, AddrMode::PostIndex))
+    } else if after.is_empty() {
+        Ok((base, inner_off, AddrMode::Offset))
+    } else {
+        err(
+            line,
+            format!("trailing junk after memory operand: {after:?}"),
+        )
+    }
+}
+
+fn parse_cond(mnemonic: &str, line: usize) -> Result<Cond, ParseError> {
+    match mnemonic {
+        "b.eq" => Ok(Cond::Eq),
+        "b.ne" => Ok(Cond::Ne),
+        "b.lo" => Ok(Cond::Lo),
+        "b.hs" => Ok(Cond::Hs),
+        "b.lt" => Ok(Cond::Lt),
+        "b.ge" => Ok(Cond::Ge),
+        other => err(line, format!("unknown condition {other:?}")),
+    }
+}
+
+fn parse_op(text: &str, line: usize) -> Result<Op, ParseError> {
+    let text = text.trim();
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let reg = |i: usize| -> Result<Reg, ParseError> {
+        args.get(i).map_or_else(
+            || err(line, "missing register operand"),
+            |t| parse_reg(t, line),
+        )
+    };
+    let imm = |i: usize| -> Result<i64, ParseError> {
+        args.get(i).map_or_else(
+            || err(line, "missing immediate operand"),
+            |t| parse_imm(t, line),
+        )
+    };
+
+    let op = match mnemonic {
+        "mov" => {
+            let d = reg(0)?;
+            let src = args.get(1).copied().unwrap_or("");
+            if let Some(sym) = src.strip_prefix("#&.") {
+                Op::LabelAddr(d, sym.to_owned())
+            } else if let Some(sym) = src.strip_prefix("#&") {
+                Op::FnAddr(d, sym.to_owned())
+            } else if src.starts_with('#') {
+                Op::I(I::MovImm(d, imm(1)? as u64))
+            } else {
+                Op::I(I::Mov(d, reg(1)?))
+            }
+        }
+        "add" => {
+            if args.get(2).is_some_and(|t| t.starts_with('#')) {
+                Op::I(I::AddImm(reg(0)?, reg(1)?, imm(2)?))
+            } else {
+                Op::I(I::Add(reg(0)?, reg(1)?, reg(2)?))
+            }
+        }
+        "sub" => Op::I(I::Sub(reg(0)?, reg(1)?, reg(2)?)),
+        "mul" => Op::I(I::Mul(reg(0)?, reg(1)?, reg(2)?)),
+        "eor" => {
+            if args.get(2).is_some_and(|t| t.starts_with('#')) {
+                Op::I(I::EorImm(reg(0)?, reg(1)?, imm(2)? as u64))
+            } else {
+                Op::I(I::Eor(reg(0)?, reg(1)?, reg(2)?))
+            }
+        }
+        "and" => Op::I(I::AndImm(reg(0)?, reg(1)?, imm(2)? as u64)),
+        "lsr" => Op::I(I::LsrImm(reg(0)?, reg(1)?, imm(2)? as u32)),
+        "cmp" => {
+            if args.get(1).is_some_and(|t| t.starts_with('#')) {
+                Op::I(I::CmpImm(reg(0)?, imm(1)?))
+            } else {
+                Op::I(I::Cmp(reg(0)?, reg(1)?))
+            }
+        }
+        "ldr" | "str" => {
+            let t = reg(0)?;
+            let (base, off, mode) = parse_mem(rest, line)?;
+            match (mnemonic, mode) {
+                ("ldr", AddrMode::Offset) => Op::I(I::Ldr(t, base, off)),
+                ("ldr", AddrMode::PreIndex) => Op::I(I::LdrPre(t, base, off)),
+                ("ldr", AddrMode::PostIndex) => Op::I(I::LdrPost(t, base, off)),
+                ("str", AddrMode::Offset) => Op::I(I::Str(t, base, off)),
+                ("str", AddrMode::PreIndex) => Op::I(I::StrPre(t, base, off)),
+                ("str", AddrMode::PostIndex) => Op::I(I::StrPost(t, base, off)),
+                _ => unreachable!(),
+            }
+        }
+        "stp" | "ldp" => {
+            let t1 = reg(0)?;
+            let t2 = reg(1)?;
+            let (base, off, mode) = parse_mem(rest, line)?;
+            if mode != AddrMode::Offset {
+                return err(line, "stp/ldp support only base+offset addressing");
+            }
+            if mnemonic == "stp" {
+                Op::I(I::Stp(t1, t2, base, off))
+            } else {
+                Op::I(I::Ldp(t1, t2, base, off))
+            }
+        }
+        "b" => {
+            let target = args.first().copied().unwrap_or("");
+            if let Some(label) = target.strip_prefix('.') {
+                Op::Jump(label.to_owned())
+            } else {
+                Op::TailCall(target.to_owned())
+            }
+        }
+        "bl" => Op::Call(args.first().copied().unwrap_or("").to_owned()),
+        "blr" => Op::I(I::Blr(reg(0)?)),
+        "br" => Op::I(I::Br(reg(0)?)),
+        "ret" => Op::I(I::Ret),
+        "cbz" | "cbnz" => {
+            let r = reg(0)?;
+            let target = args.get(1).copied().unwrap_or("");
+            let Some(label) = target.strip_prefix('.') else {
+                return err(line, "cbz/cbnz target must be a local .label");
+            };
+            if mnemonic == "cbz" {
+                Op::JumpZero(r, label.to_owned())
+            } else {
+                Op::JumpNonZero(r, label.to_owned())
+            }
+        }
+        m if m.starts_with("b.") => {
+            let cond = parse_cond(m, line)?;
+            let target = args.first().copied().unwrap_or("");
+            let Some(label) = target.strip_prefix('.') else {
+                return err(line, "b.<cond> target must be a local .label");
+            };
+            Op::JumpCond(cond, label.to_owned())
+        }
+        "pacia" => Op::I(I::Pacia(reg(0)?, reg(1)?)),
+        "autia" => Op::I(I::Autia(reg(0)?, reg(1)?)),
+        "pacib" => Op::I(I::Pacib(reg(0)?, reg(1)?)),
+        "autib" => Op::I(I::Autib(reg(0)?, reg(1)?)),
+        "paciasp" => Op::I(I::Paciasp),
+        "autiasp" => Op::I(I::Autiasp),
+        "retaa" => Op::I(I::Retaa),
+        "pacibsp" => Op::I(I::Pacibsp),
+        "retab" => Op::I(I::Retab),
+        "bti" => Op::I(I::Bti),
+        "xpaci" => Op::I(I::Xpaci(reg(0)?)),
+        "pacga" => Op::I(I::Pacga(reg(0)?, reg(1)?, reg(2)?)),
+        "svc" => Op::I(I::Svc(imm(0)? as u16)),
+        "nop" => Op::I(I::Nop),
+        other => return err(line, format!("unknown mnemonic {other:?}")),
+    };
+    Ok(op)
+}
+
+/// Parses an assembly listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    let mut current: Option<(String, Vec<Op>)> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .split("//")
+            .next()
+            .unwrap_or("")
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if let Some(local) = label.strip_prefix('.') {
+                // Local label inside the current function.
+                match &mut current {
+                    Some((_, ops)) => ops.push(Op::Label(local.to_owned())),
+                    None => return err(line_no, "local label before any function"),
+                }
+            } else {
+                // New function: flush the previous one.
+                if let Some((name, ops)) = current.take() {
+                    program.function_ops(&name, ops);
+                }
+                current = Some((label.to_owned(), Vec::new()));
+            }
+            continue;
+        }
+        match &mut current {
+            Some((_, ops)) => ops.push(parse_op(line, line_no)?),
+            None => return err(line_no, "instruction before any function label"),
+        }
+    }
+    if let Some((name, ops)) = current {
+        program.function_ops(&name, ops);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cpu;
+
+    #[test]
+    fn parses_and_runs_a_simple_program() {
+        let program = parse_program(
+            "main:\n    mov x0, #20\n    bl double\n    add x0, x0, #2\n    ret\n\
+             double:\n    add x0, x0, x0\n    ret\n",
+        )
+        .unwrap();
+        // `double` clobbers nothing main needs beyond LR... main must spill
+        // — but the bl overwrites LR, so main's final ret goes to double's
+        // return point. Keep the test honest: use a leaf-only main.
+        let _ = program;
+        let program =
+            parse_program("main:\n    mov x0, #21\n    add x0, x0, x0\n    ret\n").unwrap();
+        let mut cpu = Cpu::with_seed(program, 0);
+        assert_eq!(cpu.run(100).unwrap().exit_code, 42);
+    }
+
+    #[test]
+    fn parses_memory_addressing_modes() {
+        let program = parse_program(
+            "main:\n    mov x1, #7\n    str x1, [sp, #-16]!\n    ldr x0, [sp], #16\n    ret\n",
+        )
+        .unwrap();
+        let mut cpu = Cpu::with_seed(program, 0);
+        assert_eq!(cpu.run(100).unwrap().exit_code, 7);
+    }
+
+    #[test]
+    fn parses_local_labels_and_branches() {
+        let source = "main:\n    mov x0, #0\n    mov x1, #5\n.loop:\n    add x0, x0, #3\n    \
+                      add x1, x1, #-1\n    cbnz x1, .loop\n    ret\n";
+        let program = parse_program(source).unwrap();
+        let mut cpu = Cpu::with_seed(program, 0);
+        assert_eq!(cpu.run(1000).unwrap().exit_code, 15);
+    }
+
+    #[test]
+    fn parses_pa_instructions() {
+        let source = "main:\n    mov x0, #0x1234\n    mov x1, #9\n    pacia x0, x1\n    \
+                      autia x0, x1\n    ret\n";
+        let program = parse_program(source).unwrap();
+        let mut cpu = Cpu::with_seed(program, 3);
+        assert_eq!(cpu.run(100).unwrap().exit_code, 0x1234);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let source = "main:\n    paciasp\n    str lr, [sp, #-16]!\n    mov x9, #&helper\n    \
+                      blr x9\n    ldr lr, [sp], #16\n    retaa\nhelper:\n    eor x0, x0, x0\n    ret\n";
+        let program = parse_program(source).unwrap();
+        let reparsed = parse_program(&format!("{program}")).unwrap();
+        assert_eq!(format!("{program}"), format!("{reparsed}"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let source =
+            "; full line comment\nmain:\n    mov x0, #1 ; trailing\n\n    ret // c++ style\n";
+        let program = parse_program(source).unwrap();
+        let mut cpu = Cpu::with_seed(program, 0);
+        assert_eq!(cpu.run(100).unwrap().exit_code, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("main:\n    bogus x0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = parse_program("    mov x0, #1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn condition_codes_parse() {
+        let source = "main:\n    mov x0, #1\n    cmp x0, #1\n    b.eq .ok\n    mov x0, #0\n\
+                      .ok:\n    ret\n";
+        let program = parse_program(source).unwrap();
+        let mut cpu = Cpu::with_seed(program, 0);
+        assert_eq!(cpu.run(100).unwrap().exit_code, 1);
+    }
+}

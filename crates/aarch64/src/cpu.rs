@@ -1,0 +1,892 @@
+//! The CPU interpreter.
+
+use crate::memory::LAYOUT;
+use crate::regs::RegisterFile;
+use crate::{Cond, CostModel, Fault, Instruction, Memory, Program, Reg};
+use pacstack_pauth::{AuthFailure, PaKey, PaKeys, PointerAuth, VaLayout};
+use std::collections::HashMap;
+
+/// NZCV condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Flags {
+    n: bool,
+    z: bool,
+    c: bool,
+    v: bool,
+}
+
+impl Flags {
+    fn holds(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::Eq => self.z,
+            Cond::Ne => !self.z,
+            Cond::Lo => !self.c,
+            Cond::Hs => self.c,
+            Cond::Lt => self.n != self.v,
+            Cond::Ge => self.n == self.v,
+        }
+    }
+}
+
+/// A saved user-space execution context (`struct cpu_context` in Linux).
+///
+/// Produced by [`Cpu::save_context`] during a modelled context switch or
+/// signal delivery. Its fields are private and it lives *outside* the
+/// simulated [`Memory`](crate::Memory): this is the paper's §5.4 argument —
+/// CR and LR of a non-executing task sit in kernel-owned storage the
+/// adversary cannot reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Context {
+    regs: RegisterFile,
+    pc: u64,
+    flags: Flags,
+}
+
+impl Context {
+    /// Reads one register from the saved context (kernel/harness use).
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs.read(reg)
+    }
+
+    /// The saved program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+}
+
+/// Why [`Cpu::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The program exited via `svc #0`; carries `X0`.
+    Exited(u64),
+    /// An `svc` the CPU does not service internally; the kernel model (or
+    /// test harness) should handle it and resume.
+    Syscall(u16),
+}
+
+/// Retired-instruction counters by class — the "added instructions"
+/// accounting the paper's §7.1 discussion rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsnCounters {
+    /// Pointer-authentication instructions (`pacia`, `autia`, `retaa`, ...).
+    pub pointer_auth: u64,
+    /// Loads/stores (pairs count once).
+    pub memory: u64,
+    /// Taken and untaken branches, calls and returns.
+    pub branches: u64,
+    /// Everything else (ALU, moves, system).
+    pub other: u64,
+}
+
+impl InsnCounters {
+    /// Total retired instructions.
+    pub fn total(&self) -> u64 {
+        self.pointer_auth + self.memory + self.branches + self.other
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Exit code (`X0` at `svc #0`); zero if stopped by a foreign syscall.
+    pub exit_code: u64,
+    /// Why execution stopped.
+    pub status: RunStatus,
+    /// Total simulated cycles so far (cumulative across resumed runs).
+    pub cycles: u64,
+    /// Total retired instructions so far.
+    pub instructions: u64,
+}
+
+/// The simulated CPU: register file, PC, flags, memory, PA unit and cost
+/// accounting.
+///
+/// # Examples
+///
+/// A return-address overwrite faulting under `retaa` (pac-ret):
+///
+/// ```
+/// use pacstack_aarch64::{Cpu, Fault, Instruction::*, Program, Reg};
+///
+/// let mut p = Program::new();
+/// p.function("main", vec![
+///     Paciasp,                       // sign LR with SP
+///     StrPre(Reg::X30, Reg::Sp, -16),// spill
+///     LdrPost(Reg::X30, Reg::Sp, 16),// reload
+///     EorImm(Reg::X30, Reg::X30, 8), // "attacker" redirects the return
+///     Retaa,                         // authenticate + return
+/// ]);
+/// let mut cpu = Cpu::with_seed(p, 1);
+/// assert!(matches!(cpu.run(100), Err(Fault::TranslationFault { .. })));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: RegisterFile,
+    pc: u64,
+    flags: Flags,
+    mem: Memory,
+    image: Vec<Instruction>,
+    code_base: u64,
+    symbols: HashMap<String, u64>,
+    pa: PointerAuth,
+    keys: PaKeys,
+    cost: CostModel,
+    cycles: u64,
+    instructions: u64,
+    counters: InsnCounters,
+    output: Vec<u64>,
+    trace: Option<crate::trace::Trace>,
+    pac_log: Option<Vec<(u64, u64)>>,
+    bti: bool,
+}
+
+impl Cpu {
+    /// Builds a CPU for `program` with PA keys derived from `seed`, the
+    /// standard memory layout and the default cost model.
+    pub fn with_seed(program: Program, seed: u64) -> Self {
+        Self::with_parts(
+            program,
+            PaKeys::from_seed(seed),
+            PointerAuth::new(VaLayout::default()),
+            CostModel::default(),
+        )
+    }
+
+    /// Builds a CPU with explicit keys, PA configuration and cost model.
+    pub fn with_parts(program: Program, keys: PaKeys, pa: PointerAuth, cost: CostModel) -> Self {
+        let image = program.assemble(LAYOUT.code_base);
+        let mut regs = RegisterFile::new();
+        regs.write(Reg::Sp, LAYOUT.stack_top - 16);
+        regs.write(Reg::SCS, LAYOUT.shadow_stack_base);
+        Self {
+            regs,
+            pc: image.entry,
+            flags: Flags::default(),
+            mem: Memory::with_standard_layout(),
+            image: image.instructions,
+            code_base: LAYOUT.code_base,
+            symbols: image.symbols,
+            pa,
+            keys,
+            cost,
+            cycles: 0,
+            instructions: 0,
+            counters: InsnCounters::default(),
+            output: Vec::new(),
+            trace: None,
+            pac_log: None,
+            bti: false,
+        }
+    }
+
+    /// Switches the PA unit to ARMv8.6-A FPAC semantics (fault on `aut*`).
+    pub fn enable_fpac(&mut self) {
+        self.pa = PointerAuth::with_failure(self.pa.layout(), AuthFailure::Fault);
+    }
+
+    /// Enables branch-target-indicator enforcement (ARMv8.5-A BTI): every
+    /// indirect branch (`blr`/`br`) must land on a function entry or an
+    /// explicit `bti` landing pad. This is one concrete way of satisfying
+    /// the paper's assumption A2 (coarse-grained forward-edge CFI).
+    pub fn enable_bti(&mut self) {
+        self.bti = true;
+    }
+
+    fn check_branch_target(&self, target: u64) -> Result<(), Fault> {
+        if !self.bti {
+            return Ok(());
+        }
+        let is_entry = self.symbols.values().any(|&addr| addr == target);
+        let is_pad = matches!(self.instruction_at(target), Some(Instruction::Bti));
+        if is_entry || is_pad {
+            Ok(())
+        } else {
+            Err(Fault::FetchFault { pc: target })
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs.read(reg)
+    }
+
+    /// Writes a register (trusted-harness access; user code cannot do this).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs.write(reg, value);
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Redirects execution (kernel/harness use: signal delivery, resume).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// The process memory — also the adversary's read/write surface.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access (adversary primitive or kernel use).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The PA unit.
+    pub fn pa(&self) -> &PointerAuth {
+        &self.pa
+    }
+
+    /// The process PA keys (kernel-owned; not reachable from simulated code).
+    pub fn keys(&self) -> &PaKeys {
+        &self.keys
+    }
+
+    /// Replaces the PA keys, as the kernel does on `exec`.
+    pub fn set_keys(&mut self, keys: PaKeys) {
+        self.keys = keys;
+    }
+
+    /// Address of a function, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Saves the user-visible execution state into kernel-private storage,
+    /// as `kernel_entry` does on EL0→EL1 transitions (paper §5.4).
+    pub fn save_context(&self) -> Context {
+        Context {
+            regs: self.regs.clone(),
+            pc: self.pc,
+            flags: self.flags,
+        }
+    }
+
+    /// Restores a previously saved context.
+    pub fn restore_context(&mut self, ctx: &Context) {
+        self.regs = ctx.regs.clone();
+        self.pc = ctx.pc;
+        self.flags = ctx.flags;
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Retired-instruction counters by class.
+    pub fn counters(&self) -> InsnCounters {
+        self.counters
+    }
+
+    /// Values emitted via `svc #1`.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// The instruction at a code address, if the address is mapped
+    /// executable — the disassembler's entry point.
+    pub fn instruction_at(&self, pc: u64) -> Option<Instruction> {
+        if self.mem.check_execute(pc).is_err() {
+            return None;
+        }
+        let idx = (pc - self.code_base) / 4;
+        self.image.get(idx as usize).copied()
+    }
+
+    /// Enables execution tracing into a ring buffer of `capacity` entries.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::Trace::new(capacity));
+    }
+
+    /// The execution trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Starts recording every return-address *signing* event as a
+    /// `(modifier, stripped pointer)` pair — the raw material of the
+    /// paper's §6.1 reuse analysis: two events with equal modifiers but
+    /// different pointers are interchangeable signed pointers.
+    pub fn enable_pac_log(&mut self) {
+        self.pac_log = Some(Vec::new());
+    }
+
+    /// The recorded signing events, if logging is enabled.
+    pub fn pac_log(&self) -> Option<&[(u64, u64)]> {
+        self.pac_log.as_deref()
+    }
+
+    fn log_pac(&mut self, modifier: u64, pointer: u64) {
+        let stripped = self.pa.strip(pointer);
+        if let Some(log) = &mut self.pac_log {
+            log.push((modifier, stripped));
+        }
+    }
+
+    fn fetch(&self) -> Result<Instruction, Fault> {
+        self.mem.check_execute(self.pc)?;
+        let idx = (self.pc - self.code_base) / 4;
+        self.image
+            .get(idx as usize)
+            .copied()
+            .ok_or(Fault::FetchFault { pc: self.pc })
+    }
+
+    fn set_flags_from_cmp(&mut self, a: u64, b: u64) {
+        let (result, borrow) = a.overflowing_sub(b);
+        self.flags.n = (result >> 63) & 1 == 1;
+        self.flags.z = result == 0;
+        self.flags.c = !borrow;
+        self.flags.v = ((a ^ b) & (a ^ result)) >> 63 == 1;
+    }
+
+    /// Performs an `aut*`-style authentication, honouring the configured
+    /// failure mode: in FPAC mode a failure faults immediately; otherwise
+    /// the corrupted pointer is produced and will fault on use.
+    fn authenticate(&self, pointer: u64, modifier: u64) -> Result<u64, Fault> {
+        self.authenticate_with(PaKey::Ia, pointer, modifier)
+    }
+
+    fn authenticate_with(&self, key: PaKey, pointer: u64, modifier: u64) -> Result<u64, Fault> {
+        match self.pa.aut(&self.keys, key, pointer, modifier) {
+            Ok(p) => Ok(p),
+            Err(err) => match self.pa.failure() {
+                AuthFailure::Fault => Err(Fault::PacFault { pointer }),
+                AuthFailure::ErrorBit => Ok(err.corrupted),
+            },
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Fault`].
+    fn step(&mut self) -> Result<Option<RunStatus>, Fault> {
+        use Instruction::*;
+        let insn = self.fetch()?;
+        self.cycles += self.cost.cost(&insn);
+        // Accesses through the shadow-stack pointer hit a distant region
+        // with worse locality than the hot stack.
+        if let Instruction::StrPost(_, base, _)
+        | Instruction::LdrPre(_, base, _)
+        | Instruction::Ldr(_, base, _)
+        | Instruction::Str(_, base, _) = insn
+        {
+            if base == Reg::SCS {
+                self.cycles += self.cost.shadow_penalty;
+            }
+        }
+        self.instructions += 1;
+        {
+            use Instruction::*;
+            if insn.is_pointer_auth() {
+                self.counters.pointer_auth += 1;
+            } else if insn.is_memory() {
+                self.counters.memory += 1;
+            } else if matches!(
+                insn,
+                B(..) | BCond(..) | Cbz(..) | Cbnz(..) | Bl(..) | Blr(..) | Br(..) | Ret
+            ) {
+                self.counters.branches += 1;
+            } else {
+                self.counters.other += 1;
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(crate::trace::TraceEntry {
+                pc: self.pc,
+                insn,
+                cycles: self.cycles,
+            });
+        }
+        let mut next_pc = self.pc.wrapping_add(4);
+
+        match insn {
+            Mov(d, n) => self.regs.write(d, self.regs.read(n)),
+            MovImm(d, imm) => self.regs.write(d, imm),
+            Add(d, n, m) => {
+                let v = self.regs.read(n).wrapping_add(self.regs.read(m));
+                self.regs.write(d, v);
+            }
+            AddImm(d, n, imm) => {
+                let v = self.regs.read(n).wrapping_add(imm as u64);
+                self.regs.write(d, v);
+            }
+            Sub(d, n, m) => {
+                let v = self.regs.read(n).wrapping_sub(self.regs.read(m));
+                self.regs.write(d, v);
+            }
+            Mul(d, n, m) => {
+                let v = self.regs.read(n).wrapping_mul(self.regs.read(m));
+                self.regs.write(d, v);
+            }
+            Eor(d, n, m) => self.regs.write(d, self.regs.read(n) ^ self.regs.read(m)),
+            EorImm(d, n, imm) => self.regs.write(d, self.regs.read(n) ^ imm),
+            AndImm(d, n, imm) => self.regs.write(d, self.regs.read(n) & imm),
+            LsrImm(d, n, s) => self.regs.write(d, self.regs.read(n) >> s),
+            Cmp(n, m) => self.set_flags_from_cmp(self.regs.read(n), self.regs.read(m)),
+            CmpImm(n, imm) => self.set_flags_from_cmp(self.regs.read(n), imm as u64),
+
+            Ldr(t, n, off) => {
+                let addr = self.regs.read(n).wrapping_add(off as u64);
+                let v = self.mem.read_u64(addr)?;
+                self.regs.write(t, v);
+            }
+            Str(t, n, off) => {
+                let addr = self.regs.read(n).wrapping_add(off as u64);
+                self.mem.write_u64(addr, self.regs.read(t))?;
+            }
+            LdrPost(t, n, off) => {
+                let addr = self.regs.read(n);
+                let v = self.mem.read_u64(addr)?;
+                self.regs.write(t, v);
+                self.regs.write(n, addr.wrapping_add(off as u64));
+            }
+            LdrPre(t, n, off) => {
+                let addr = self.regs.read(n).wrapping_add(off as u64);
+                let v = self.mem.read_u64(addr)?;
+                self.regs.write(t, v);
+                self.regs.write(n, addr);
+            }
+            StrPre(t, n, off) => {
+                let addr = self.regs.read(n).wrapping_add(off as u64);
+                self.mem.write_u64(addr, self.regs.read(t))?;
+                self.regs.write(n, addr);
+            }
+            StrPost(t, n, off) => {
+                let addr = self.regs.read(n);
+                self.mem.write_u64(addr, self.regs.read(t))?;
+                self.regs.write(n, addr.wrapping_add(off as u64));
+            }
+            Stp(t1, t2, n, off) => {
+                let addr = self.regs.read(n).wrapping_add(off as u64);
+                self.mem.write_u64(addr, self.regs.read(t1))?;
+                self.mem
+                    .write_u64(addr.wrapping_add(8), self.regs.read(t2))?;
+            }
+            Ldp(t1, t2, n, off) => {
+                let addr = self.regs.read(n).wrapping_add(off as u64);
+                let v1 = self.mem.read_u64(addr)?;
+                let v2 = self.mem.read_u64(addr.wrapping_add(8))?;
+                self.regs.write(t1, v1);
+                self.regs.write(t2, v2);
+            }
+
+            B(target) => next_pc = target,
+            BCond(cond, target) => {
+                if self.flags.holds(cond) {
+                    next_pc = target;
+                }
+            }
+            Cbz(t, target) => {
+                if self.regs.read(t) == 0 {
+                    next_pc = target;
+                }
+            }
+            Cbnz(t, target) => {
+                if self.regs.read(t) != 0 {
+                    next_pc = target;
+                }
+            }
+            Bl(target) => {
+                self.regs.write(Reg::LR, next_pc);
+                next_pc = target;
+            }
+            Blr(n) => {
+                let target = self.regs.read(n);
+                self.check_branch_target(target)?;
+                self.regs.write(Reg::LR, next_pc);
+                next_pc = target;
+            }
+            Br(n) => {
+                let target = self.regs.read(n);
+                self.check_branch_target(target)?;
+                next_pc = target;
+            }
+            Ret => next_pc = self.regs.read(Reg::LR),
+
+            Pacia(d, n) => {
+                let signed =
+                    self.pa
+                        .pac(&self.keys, PaKey::Ia, self.regs.read(d), self.regs.read(n));
+                self.regs.write(d, signed);
+            }
+            Autia(d, n) => {
+                let v = self.authenticate(self.regs.read(d), self.regs.read(n))?;
+                self.regs.write(d, v);
+            }
+            Pacib(d, n) => {
+                let signed =
+                    self.pa
+                        .pac(&self.keys, PaKey::Ib, self.regs.read(d), self.regs.read(n));
+                self.regs.write(d, signed);
+            }
+            Autib(d, n) => {
+                let v = self.authenticate_with(PaKey::Ib, self.regs.read(d), self.regs.read(n))?;
+                self.regs.write(d, v);
+            }
+            Paciasp => {
+                let (value, modifier) = (self.regs.read(Reg::LR), self.regs.read(Reg::Sp));
+                self.log_pac(modifier, value);
+                let signed = self.pa.pac(&self.keys, PaKey::Ia, value, modifier);
+                self.regs.write(Reg::LR, signed);
+            }
+            Autiasp => {
+                let v = self.authenticate(self.regs.read(Reg::LR), self.regs.read(Reg::Sp))?;
+                self.regs.write(Reg::LR, v);
+            }
+            Retaa => {
+                let v = self.authenticate(self.regs.read(Reg::LR), self.regs.read(Reg::Sp))?;
+                self.regs.write(Reg::LR, v);
+                next_pc = v;
+            }
+            Pacibsp => {
+                let signed = self.pa.pac(
+                    &self.keys,
+                    PaKey::Ib,
+                    self.regs.read(Reg::LR),
+                    self.regs.read(Reg::Sp),
+                );
+                self.regs.write(Reg::LR, signed);
+            }
+            Retab => {
+                let v = self.authenticate_with(
+                    PaKey::Ib,
+                    self.regs.read(Reg::LR),
+                    self.regs.read(Reg::Sp),
+                )?;
+                self.regs.write(Reg::LR, v);
+                next_pc = v;
+            }
+            Bti => {}
+            Xpaci(d) => {
+                let v = self.pa.strip(self.regs.read(d));
+                self.regs.write(d, v);
+            }
+            Pacga(d, n, m) => {
+                let v = self
+                    .pa
+                    .pacga(&self.keys, self.regs.read(n), self.regs.read(m));
+                self.regs.write(d, v);
+            }
+
+            Svc(0) => {
+                self.pc = next_pc;
+                return Ok(Some(RunStatus::Exited(self.regs.read(Reg::X0))));
+            }
+            Svc(1) => {
+                self.output.push(self.regs.read(Reg::X0));
+            }
+            Svc(imm) => {
+                self.pc = next_pc;
+                return Ok(Some(RunStatus::Syscall(imm)));
+            }
+            Nop => {}
+        }
+
+        self.pc = next_pc;
+        Ok(None)
+    }
+
+    /// Runs until exit, an unhandled syscall, a fault, or `budget` retired
+    /// instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] that terminated execution, or
+    /// [`Fault::Timeout`] if the budget ran out.
+    pub fn run(&mut self, budget: u64) -> Result<Outcome, Fault> {
+        for _ in 0..budget {
+            if let Some(status) = self.step()? {
+                let exit_code = match status {
+                    RunStatus::Exited(code) => code,
+                    RunStatus::Syscall(_) => 0,
+                };
+                return Ok(Outcome {
+                    exit_code,
+                    status,
+                    cycles: self.cycles,
+                    instructions: self.instructions,
+                });
+            }
+        }
+        Err(Fault::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Op;
+    use crate::Instruction::*;
+
+    fn run_program(p: Program) -> Result<Outcome, Fault> {
+        Cpu::with_seed(p, 7).run(1_000_000)
+    }
+
+    #[test]
+    fn exit_code_is_x0() {
+        let mut p = Program::new();
+        p.function("main", vec![MovImm(Reg::X0, 5), Ret]);
+        assert_eq!(run_program(p).unwrap().exit_code, 5);
+    }
+
+    #[test]
+    fn call_and_return_through_stack() {
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(StrPre(Reg::X30, Reg::Sp, -16)),
+                Op::I(MovImm(Reg::X0, 20)),
+                Op::Call("add_one".into()),
+                Op::Call("add_one".into()),
+                Op::I(LdrPost(Reg::X30, Reg::Sp, 16)),
+                Op::I(Ret),
+            ],
+        );
+        p.function("add_one", vec![AddImm(Reg::X0, Reg::X0, 1), Ret]);
+        assert_eq!(run_program(p).unwrap().exit_code, 22);
+    }
+
+    #[test]
+    fn recursion_computes_factorial() {
+        // fact(n): if n == 0 { 1 } else { n * fact(n-1) }
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(StrPre(Reg::X30, Reg::Sp, -16)),
+                Op::I(MovImm(Reg::X0, 5)),
+                Op::Call("fact".into()),
+                Op::I(LdrPost(Reg::X30, Reg::Sp, 16)),
+                Op::I(Ret),
+            ],
+        );
+        p.function_ops(
+            "fact",
+            vec![
+                Op::JumpZero(Reg::X0, "base".into()),
+                Op::I(Stp(Reg::X0, Reg::X30, Reg::Sp, -16)),
+                Op::I(AddImm(Reg::Sp, Reg::Sp, -16)),
+                Op::I(AddImm(Reg::X0, Reg::X0, -1)),
+                Op::Call("fact".into()),
+                Op::I(AddImm(Reg::Sp, Reg::Sp, 16)),
+                Op::I(Ldp(Reg::X1, Reg::X30, Reg::Sp, -16)),
+                Op::I(Mul(Reg::X0, Reg::X0, Reg::X1)),
+                Op::I(Ret),
+                Op::Label("base".into()),
+                Op::I(MovImm(Reg::X0, 1)),
+                Op::I(Ret),
+            ],
+        );
+        assert_eq!(run_program(p).unwrap().exit_code, 120);
+    }
+
+    #[test]
+    fn indirect_call_via_blr() {
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(StrPre(Reg::X30, Reg::Sp, -16)),
+                Op::FnAddr(Reg::X9, "forty".into()),
+                Op::I(Blr(Reg::X9)),
+                Op::I(LdrPost(Reg::X30, Reg::Sp, 16)),
+                Op::I(Ret),
+            ],
+        );
+        p.function("forty", vec![MovImm(Reg::X0, 40), Ret]);
+        assert_eq!(run_program(p).unwrap().exit_code, 40);
+    }
+
+    #[test]
+    fn tail_call_returns_to_original_caller() {
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(StrPre(Reg::X30, Reg::Sp, -16)),
+                Op::Call("outer".into()),
+                Op::I(LdrPost(Reg::X30, Reg::Sp, 16)),
+                Op::I(Ret),
+            ],
+        );
+        p.function_ops("outer", vec![Op::TailCall("inner".into())]);
+        p.function("inner", vec![MovImm(Reg::X0, 9), Ret]);
+        assert_eq!(run_program(p).unwrap().exit_code, 9);
+    }
+
+    #[test]
+    fn pac_ret_round_trip_succeeds() {
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![
+                Paciasp,
+                StrPre(Reg::X30, Reg::Sp, -16),
+                MovImm(Reg::X0, 3),
+                LdrPost(Reg::X30, Reg::Sp, 16),
+                Retaa,
+            ],
+        );
+        assert_eq!(run_program(p).unwrap().exit_code, 3);
+    }
+
+    #[test]
+    fn classic_rop_overwrite_succeeds_without_protection() {
+        // Without PA, overwriting the spilled LR redirects the return: the
+        // attack the whole paper is about. "gadget" exits with 0x41.
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(StrPre(Reg::X30, Reg::Sp, -16)),
+                // Attacker overwrite of the stack slot, modelled in-program:
+                Op::FnAddr(Reg::X9, "gadget".into()),
+                Op::I(Str(Reg::X9, Reg::Sp, 0)),
+                Op::I(LdrPost(Reg::X30, Reg::Sp, 16)),
+                Op::I(Ret),
+            ],
+        );
+        p.function("gadget", vec![MovImm(Reg::X0, 0x41), Svc(0)]);
+        assert_eq!(run_program(p).unwrap().exit_code, 0x41);
+    }
+
+    #[test]
+    fn corrupted_pac_ret_faults_at_fetch() {
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![
+                Paciasp,
+                StrPre(Reg::X30, Reg::Sp, -16),
+                LdrPost(Reg::X30, Reg::Sp, 16),
+                EorImm(Reg::X30, Reg::X30, 16), // tamper with the address bits
+                Retaa,
+            ],
+        );
+        assert!(matches!(
+            run_program(p),
+            Err(Fault::TranslationFault { .. })
+        ));
+    }
+
+    #[test]
+    fn fpac_faults_inside_autia() {
+        let mut p = Program::new();
+        p.function("main", vec![Paciasp, EorImm(Reg::X30, Reg::X30, 16), Retaa]);
+        let mut cpu = Cpu::with_seed(p, 7);
+        cpu.enable_fpac();
+        assert!(matches!(cpu.run(100), Err(Fault::PacFault { .. })));
+    }
+
+    #[test]
+    fn svc1_emits_output() {
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![
+                MovImm(Reg::X0, 10),
+                Svc(1),
+                MovImm(Reg::X0, 20),
+                Svc(1),
+                MovImm(Reg::X0, 0),
+                Ret,
+            ],
+        );
+        let mut cpu = Cpu::with_seed(p, 7);
+        cpu.run(1000).unwrap();
+        assert_eq!(cpu.output(), &[10, 20]);
+    }
+
+    #[test]
+    fn foreign_syscall_suspends_to_caller() {
+        let mut p = Program::new();
+        p.function("main", vec![Svc(42), MovImm(Reg::X0, 1), Ret]);
+        let mut cpu = Cpu::with_seed(p, 7);
+        let out = cpu.run(100).unwrap();
+        assert_eq!(out.status, RunStatus::Syscall(42));
+        // Resumable: continues after the svc.
+        let out = cpu.run(100).unwrap();
+        assert_eq!(out.exit_code, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_timeout() {
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![Op::Label("spin".into()), Op::Jump("spin".into())],
+        );
+        assert_eq!(Cpu::with_seed(p, 7).run(1000), Err(Fault::Timeout));
+    }
+
+    #[test]
+    fn cycles_accumulate_per_cost_model() {
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![Paciasp, Xpaci(Reg::X30), MovImm(Reg::X0, 0), Ret],
+        );
+        let mut cpu = Cpu::with_seed(p, 7);
+        let out = cpu.run(100).unwrap();
+        // bl(1) + paciasp(4) + xpaci(4) + mov(1) + ret(1) + svc(200)
+        assert_eq!(out.cycles, 211);
+        assert_eq!(out.instructions, 6);
+    }
+
+    #[test]
+    fn conditional_branches_follow_flags() {
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(MovImm(Reg::X0, 0)),
+                Op::I(MovImm(Reg::X1, 3)),
+                Op::Label("loop".into()),
+                Op::I(AddImm(Reg::X0, Reg::X0, 2)),
+                Op::I(AddImm(Reg::X1, Reg::X1, -1)),
+                Op::I(CmpImm(Reg::X1, 0)),
+                Op::JumpCond(Cond::Ne, "loop".into()),
+                Op::I(Ret),
+            ],
+        );
+        assert_eq!(run_program(p).unwrap().exit_code, 6);
+    }
+
+    #[test]
+    fn signed_and_unsigned_conditions() {
+        // -1 (as u64::MAX) vs 1: signed less-than, unsigned higher-or-same.
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::I(MovImm(Reg::X2, u64::MAX)),
+                Op::I(CmpImm(Reg::X2, 1)),
+                Op::JumpCond(Cond::Lt, "signed_lt".into()),
+                Op::I(MovImm(Reg::X0, 1)),
+                Op::I(Ret),
+                Op::Label("signed_lt".into()),
+                Op::I(CmpImm(Reg::X2, 1)),
+                Op::JumpCond(Cond::Hs, "uns_hs".into()),
+                Op::I(MovImm(Reg::X0, 2)),
+                Op::I(Ret),
+                Op::Label("uns_hs".into()),
+                Op::I(MovImm(Reg::X0, 0)),
+                Op::I(Ret),
+            ],
+        );
+        assert_eq!(run_program(p).unwrap().exit_code, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fault conditions the simulated CPU can raise.
+
+use std::error::Error;
+use std::fmt;
+
+/// A synchronous fault that terminates the simulated process.
+///
+/// The paper's security argument rests on forged pointers *faulting*: a
+/// failed `aut*` yields a non-canonical pointer, and using it (instruction
+/// fetch or data access) raises a translation fault that kills the process,
+/// costing the adversary their guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// An access through a pointer whose high bits are not canonical —
+    /// what a stripped-and-corrupted PA pointer produces.
+    TranslationFault {
+        /// The offending virtual address.
+        addr: u64,
+    },
+    /// A data access to unmapped (but canonical) memory.
+    AccessFault {
+        /// The offending virtual address.
+        addr: u64,
+    },
+    /// A write to a non-writable page — the W⊕X policy (assumption A1).
+    PermissionFault {
+        /// The offending virtual address.
+        addr: u64,
+    },
+    /// Instruction fetch from a non-executable or unmapped address.
+    FetchFault {
+        /// The program-counter value that could not be fetched.
+        pc: u64,
+    },
+    /// `aut*` failed in FPAC mode (ARMv8.6-A), which faults immediately.
+    PacFault {
+        /// The pointer that failed authentication.
+        pointer: u64,
+    },
+    /// The program ran past its instruction budget (likely divergence).
+    Timeout,
+    /// `sigreturn` validation failed in the ACS-protected signal model
+    /// (paper Appendix B): the kernel kills the process.
+    SigreturnViolation,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::TranslationFault { addr } => {
+                write!(
+                    f,
+                    "translation fault at {addr:#018x} (non-canonical pointer)"
+                )
+            }
+            Fault::AccessFault { addr } => write!(f, "access fault at {addr:#018x} (unmapped)"),
+            Fault::PermissionFault { addr } => {
+                write!(f, "permission fault at {addr:#018x} (W^X violation)")
+            }
+            Fault::FetchFault { pc } => write!(f, "instruction fetch fault at pc={pc:#018x}"),
+            Fault::PacFault { pointer } => {
+                write!(f, "pointer authentication fault on {pointer:#018x} (FPAC)")
+            }
+            Fault::Timeout => f.write_str("instruction budget exhausted"),
+            Fault::SigreturnViolation => f.write_str("sigreturn validation failed"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_display_their_addresses() {
+        let s = Fault::TranslationFault {
+            addr: 0x4000_0000_1234,
+        }
+        .to_string();
+        assert!(s.contains("0x0000400000001234"));
+        assert!(Fault::Timeout.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The instruction subset the simulator executes.
+//!
+//! This is not an encoder/decoder for real AArch64 machine code — programs
+//! are held as structured instructions with a 4-byte program counter stride,
+//! which preserves every property the PACStack evaluation needs (addresses,
+//! W⊕X, faulting semantics, per-instruction cost) without a binary layer.
+
+use crate::Reg;
+use std::fmt;
+
+/// A condition code for [`Instruction::BCond`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq,
+    /// Not equal (`Z == 0`).
+    Ne,
+    /// Unsigned lower (`C == 0`).
+    Lo,
+    /// Unsigned higher or same (`C == 1`).
+    Hs,
+    /// Signed less than (`N != V`).
+    Lt,
+    /// Signed greater or equal (`N == V`).
+    Ge,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lo => "lo",
+            Cond::Hs => "hs",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One simulated instruction.
+///
+/// Branch targets are absolute virtual addresses; the assembler in
+/// [`Program`](crate::Program) resolves labels to addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    // --- data movement -----------------------------------------------------
+    /// `mov Xd, Xn`
+    Mov(Reg, Reg),
+    /// `mov Xd, #imm` (materialise a 64-bit immediate)
+    MovImm(Reg, u64),
+
+    // --- arithmetic / logic ------------------------------------------------
+    /// `add Xd, Xn, Xm`
+    Add(Reg, Reg, Reg),
+    /// `add Xd, Xn, #imm` (imm may be negative)
+    AddImm(Reg, Reg, i64),
+    /// `sub Xd, Xn, Xm`
+    Sub(Reg, Reg, Reg),
+    /// `mul Xd, Xn, Xm`
+    Mul(Reg, Reg, Reg),
+    /// `eor Xd, Xn, Xm`
+    Eor(Reg, Reg, Reg),
+    /// `eor Xd, Xn, #imm`
+    EorImm(Reg, Reg, u64),
+    /// `and Xd, Xn, #imm`
+    AndImm(Reg, Reg, u64),
+    /// `lsr Xd, Xn, #shift`
+    LsrImm(Reg, Reg, u32),
+    /// `cmp Xn, Xm` (sets flags)
+    Cmp(Reg, Reg),
+    /// `cmp Xn, #imm` (sets flags)
+    CmpImm(Reg, i64),
+
+    // --- memory ------------------------------------------------------------
+    /// `ldr Xt, [Xn, #offset]`
+    Ldr(Reg, Reg, i64),
+    /// `str Xt, [Xn, #offset]`
+    Str(Reg, Reg, i64),
+    /// `ldr Xt, [Xn], #offset` — post-indexed (pop idiom)
+    LdrPost(Reg, Reg, i64),
+    /// `ldr Xt, [Xn, #offset]!` — pre-indexed (shadow-stack pop idiom)
+    LdrPre(Reg, Reg, i64),
+    /// `str Xt, [Xn, #offset]!` — pre-indexed (push idiom)
+    StrPre(Reg, Reg, i64),
+    /// `str Xt, [Xn], #offset` — post-indexed (shadow-stack push idiom)
+    StrPost(Reg, Reg, i64),
+    /// `stp Xt1, Xt2, [Xn, #offset]`
+    Stp(Reg, Reg, Reg, i64),
+    /// `ldp Xt1, Xt2, [Xn, #offset]`
+    Ldp(Reg, Reg, Reg, i64),
+
+    // --- control flow ------------------------------------------------------
+    /// `b target`
+    B(u64),
+    /// `b.cond target`
+    BCond(Cond, u64),
+    /// `cbz Xt, target`
+    Cbz(Reg, u64),
+    /// `cbnz Xt, target`
+    Cbnz(Reg, u64),
+    /// `bl target` — call: `LR ← return address`
+    Bl(u64),
+    /// `blr Xn` — indirect call
+    Blr(Reg),
+    /// `br Xn` — indirect jump (tail calls)
+    Br(Reg),
+    /// `ret` — branch to `LR`
+    Ret,
+
+    // --- pointer authentication ---------------------------------------------
+    /// `pacia Xd, Xn` — sign `Xd` with instruction key A, modifier `Xn`
+    Pacia(Reg, Reg),
+    /// `autia Xd, Xn` — authenticate `Xd` with instruction key A
+    Autia(Reg, Reg),
+    /// `pacib Xd, Xn` — sign with instruction key B (the arm64e choice)
+    Pacib(Reg, Reg),
+    /// `autib Xd, Xn` — authenticate with instruction key B
+    Autib(Reg, Reg),
+    /// `paciasp` — sign `LR` with `SP` as modifier (`-mbranch-protection`)
+    Paciasp,
+    /// `autiasp` — authenticate `LR` with `SP` as modifier
+    Autiasp,
+    /// `retaa` — authenticate `LR` with `SP` as modifier, then return
+    Retaa,
+    /// `pacibsp` — sign `LR` with `SP`, key B
+    Pacibsp,
+    /// `retab` — authenticate `LR` with `SP` (key B), then return
+    Retab,
+    /// `bti` — branch-target indicator: a valid landing pad for indirect
+    /// branches when BTI enforcement is on (assumption A2)
+    Bti,
+    /// `xpaci Xd` — strip the PAC from `Xd`
+    Xpaci(Reg),
+    /// `pacga Xd, Xn, Xm` — generic MAC of `Xn` with modifier `Xm`
+    Pacga(Reg, Reg, Reg),
+
+    // --- system --------------------------------------------------------------
+    /// `svc #imm` — supervisor call; the kernel model dispatches on `X8`
+    Svc(u16),
+    /// `nop`
+    Nop,
+}
+
+impl Instruction {
+    /// Whether this instruction is one of the PA family (costed separately).
+    pub fn is_pointer_auth(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Pacia(..)
+                | Instruction::Autia(..)
+                | Instruction::Pacib(..)
+                | Instruction::Autib(..)
+                | Instruction::Paciasp
+                | Instruction::Autiasp
+                | Instruction::Retaa
+                | Instruction::Pacibsp
+                | Instruction::Retab
+                | Instruction::Pacga(..)
+                | Instruction::Xpaci(..)
+        )
+    }
+
+    /// Whether this instruction accesses data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Ldr(..)
+                | Instruction::Str(..)
+                | Instruction::LdrPost(..)
+                | Instruction::LdrPre(..)
+                | Instruction::StrPre(..)
+                | Instruction::StrPost(..)
+                | Instruction::Stp(..)
+                | Instruction::Ldp(..)
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match self {
+            Mov(d, n) => write!(f, "mov {d}, {n}"),
+            MovImm(d, imm) => write!(f, "mov {d}, #{imm:#x}"),
+            Add(d, n, m) => write!(f, "add {d}, {n}, {m}"),
+            AddImm(d, n, imm) => write!(f, "add {d}, {n}, #{imm}"),
+            Sub(d, n, m) => write!(f, "sub {d}, {n}, {m}"),
+            Mul(d, n, m) => write!(f, "mul {d}, {n}, {m}"),
+            Eor(d, n, m) => write!(f, "eor {d}, {n}, {m}"),
+            EorImm(d, n, imm) => write!(f, "eor {d}, {n}, #{imm:#x}"),
+            AndImm(d, n, imm) => write!(f, "and {d}, {n}, #{imm:#x}"),
+            LsrImm(d, n, s) => write!(f, "lsr {d}, {n}, #{s}"),
+            Cmp(n, m) => write!(f, "cmp {n}, {m}"),
+            CmpImm(n, imm) => write!(f, "cmp {n}, #{imm}"),
+            Ldr(t, n, o) => write!(f, "ldr {t}, [{n}, #{o}]"),
+            Str(t, n, o) => write!(f, "str {t}, [{n}, #{o}]"),
+            LdrPost(t, n, o) => write!(f, "ldr {t}, [{n}], #{o}"),
+            LdrPre(t, n, o) => write!(f, "ldr {t}, [{n}, #{o}]!"),
+            StrPre(t, n, o) => write!(f, "str {t}, [{n}, #{o}]!"),
+            StrPost(t, n, o) => write!(f, "str {t}, [{n}], #{o}"),
+            Stp(t1, t2, n, o) => write!(f, "stp {t1}, {t2}, [{n}, #{o}]"),
+            Ldp(t1, t2, n, o) => write!(f, "ldp {t1}, {t2}, [{n}, #{o}]"),
+            B(a) => write!(f, "b {a:#x}"),
+            BCond(c, a) => write!(f, "b.{c} {a:#x}"),
+            Cbz(t, a) => write!(f, "cbz {t}, {a:#x}"),
+            Cbnz(t, a) => write!(f, "cbnz {t}, {a:#x}"),
+            Bl(a) => write!(f, "bl {a:#x}"),
+            Blr(n) => write!(f, "blr {n}"),
+            Br(n) => write!(f, "br {n}"),
+            Ret => f.write_str("ret"),
+            Pacia(d, n) => write!(f, "pacia {d}, {n}"),
+            Autia(d, n) => write!(f, "autia {d}, {n}"),
+            Pacib(d, n) => write!(f, "pacib {d}, {n}"),
+            Autib(d, n) => write!(f, "autib {d}, {n}"),
+            Paciasp => f.write_str("paciasp"),
+            Autiasp => f.write_str("autiasp"),
+            Retaa => f.write_str("retaa"),
+            Pacibsp => f.write_str("pacibsp"),
+            Retab => f.write_str("retab"),
+            Bti => f.write_str("bti"),
+            Xpaci(d) => write!(f, "xpaci {d}"),
+            Pacga(d, n, m) => write!(f, "pacga {d}, {n}, {m}"),
+            Svc(imm) => write!(f, "svc #{imm}"),
+            Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pa_classification() {
+        assert!(Instruction::Pacia(Reg::X30, Reg::X28).is_pointer_auth());
+        assert!(Instruction::Retaa.is_pointer_auth());
+        assert!(!Instruction::Ret.is_pointer_auth());
+        assert!(!Instruction::Ldr(Reg::X0, Reg::Sp, 0).is_pointer_auth());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Instruction::Stp(Reg::X29, Reg::X30, Reg::Sp, -16).is_memory());
+        assert!(Instruction::LdrPost(Reg::X28, Reg::Sp, 16).is_memory());
+        assert!(!Instruction::Mov(Reg::X0, Reg::X1).is_memory());
+    }
+
+    #[test]
+    fn display_renders_assembly() {
+        assert_eq!(
+            Instruction::Pacia(Reg::X30, Reg::X28).to_string(),
+            "pacia lr, x28"
+        );
+        assert_eq!(
+            Instruction::Str(Reg::X30, Reg::Sp, 8).to_string(),
+            "str lr, [sp, #8]"
+        );
+        assert_eq!(
+            Instruction::BCond(Cond::Ne, 0x400010).to_string(),
+            "b.ne 0x400010"
+        );
+    }
+}

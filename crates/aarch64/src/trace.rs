@@ -1,0 +1,160 @@
+//! Execution tracing and disassembly — the debugging surface a real
+//! simulator ships with.
+
+use crate::{Cpu, Instruction};
+use std::fmt;
+
+/// One retired instruction in an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Program counter the instruction was fetched from.
+    pub pc: u64,
+    /// The instruction.
+    pub insn: Instruction,
+    /// Cumulative cycle count *after* this instruction retired.
+    pub cycles: u64,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#010x}: {:<32} ; cycles={}",
+            self.pc,
+            self.insn.to_string(),
+            self.cycles
+        )
+    }
+}
+
+/// A bounded execution trace: keeps the most recent `capacity` entries.
+///
+/// # Examples
+///
+/// ```
+/// use pacstack_aarch64::trace::Trace;
+///
+/// let trace = Trace::new(128);
+/// assert_eq!(trace.capacity(), 128);
+/// assert!(trace.entries().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace buffer holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one entry, evicting the oldest if full.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+            self.dropped += 1;
+        }
+        self.entries.push(entry);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// How many entries were evicted.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(f, "... {} earlier instructions elided ...", self.dropped)?;
+        }
+        for entry in &self.entries {
+            writeln!(f, "{entry}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Disassembles the loaded image around an address: `context` instructions
+/// before and after, with a marker at `addr`.
+pub fn disassemble_around(cpu: &Cpu, addr: u64, context: u64) -> String {
+    let mut out = String::new();
+    let start = addr.saturating_sub(context * 4);
+    for i in 0..=(2 * context) {
+        let pc = start + i * 4;
+        match cpu.instruction_at(pc) {
+            Some(insn) => {
+                let marker = if pc == addr { "=>" } else { "  " };
+                out.push_str(&format!("{marker} {pc:#010x}: {insn}\n"));
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruction::*;
+    use crate::{Program, Reg};
+
+    #[test]
+    fn trace_evicts_oldest() {
+        let mut trace = Trace::new(2);
+        for i in 0..4u64 {
+            trace.record(TraceEntry {
+                pc: i * 4,
+                insn: Nop,
+                cycles: i,
+            });
+        }
+        assert_eq!(trace.entries().len(), 2);
+        assert_eq!(trace.dropped(), 2);
+        assert_eq!(trace.entries()[0].pc, 8);
+    }
+
+    #[test]
+    fn disassembly_marks_the_focus_instruction() {
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![MovImm(Reg::X0, 1), AddImm(Reg::X0, Reg::X0, 2), Ret],
+        );
+        let cpu = Cpu::with_seed(p, 0);
+        let main = cpu.symbol("main").unwrap();
+        let text = disassemble_around(&cpu, main + 4, 1);
+        assert!(text.contains("=>"), "{text}");
+        assert!(text.contains("add x0, x0, #2"), "{text}");
+    }
+
+    #[test]
+    fn trace_entry_displays_pc_and_insn() {
+        let entry = TraceEntry {
+            pc: 0x40_0000,
+            insn: Retaa,
+            cycles: 17,
+        };
+        let s = entry.to_string();
+        assert!(s.contains("0x00400000"));
+        assert!(s.contains("retaa"));
+        assert!(s.contains("cycles=17"));
+    }
+}

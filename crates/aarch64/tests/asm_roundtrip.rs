@@ -1,0 +1,120 @@
+//! Property test: random programs round-trip through the textual assembler
+//! (`display → parse → display` is a fixed point), and parse errors never
+//! panic.
+
+use pacstack_aarch64::asm::parse_program;
+use pacstack_aarch64::program::Op;
+use pacstack_aarch64::{Cond, Instruction as I, Program, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        (0usize..31).prop_map(|i| Reg::from_index(i).expect("in range")),
+        Just(Reg::Sp),
+        Just(Reg::Xzr),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lo),
+        Just(Cond::Hs),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+    ]
+}
+
+/// Instructions whose display form the parser accepts (everything except
+/// the raw-address branch forms, which the builder API never produces).
+fn arb_insn() -> impl Strategy<Value = I> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r()).prop_map(|(a, b)| I::Mov(a, b)),
+        (r(), any::<u32>()).prop_map(|(a, v)| I::MovImm(a, u64::from(v))),
+        (r(), r(), r()).prop_map(|(a, b, c)| I::Add(a, b, c)),
+        (r(), r(), -4096i64..4096).prop_map(|(a, b, v)| I::AddImm(a, b, v)),
+        (r(), r(), r()).prop_map(|(a, b, c)| I::Sub(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| I::Mul(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| I::Eor(a, b, c)),
+        (r(), r(), any::<u32>()).prop_map(|(a, b, v)| I::EorImm(a, b, u64::from(v))),
+        (r(), r(), any::<u32>()).prop_map(|(a, b, v)| I::AndImm(a, b, u64::from(v))),
+        (r(), r(), 0u32..64).prop_map(|(a, b, s)| I::LsrImm(a, b, s)),
+        (r(), r()).prop_map(|(a, b)| I::Cmp(a, b)),
+        (r(), -4096i64..4096).prop_map(|(a, v)| I::CmpImm(a, v)),
+        (r(), r(), -512i64..512).prop_map(|(a, b, o)| I::Ldr(a, b, o * 8)),
+        (r(), r(), -512i64..512).prop_map(|(a, b, o)| I::Str(a, b, o * 8)),
+        (r(), r(), -512i64..512).prop_map(|(a, b, o)| I::LdrPost(a, b, o * 8)),
+        (r(), r(), -512i64..512).prop_map(|(a, b, o)| I::LdrPre(a, b, o * 8)),
+        (r(), r(), -512i64..512).prop_map(|(a, b, o)| I::StrPre(a, b, o * 8)),
+        (r(), r(), -512i64..512).prop_map(|(a, b, o)| I::StrPost(a, b, o * 8)),
+        (r(), r(), r(), -256i64..256).prop_map(|(a, b, c, o)| I::Stp(a, b, c, o * 8)),
+        (r(), r(), r(), -256i64..256).prop_map(|(a, b, c, o)| I::Ldp(a, b, c, o * 8)),
+        (r(),).prop_map(|(a,)| I::Blr(a)),
+        (r(),).prop_map(|(a,)| I::Br(a)),
+        Just(I::Ret),
+        (r(), r()).prop_map(|(a, b)| I::Pacia(a, b)),
+        (r(), r()).prop_map(|(a, b)| I::Autia(a, b)),
+        (r(), r()).prop_map(|(a, b)| I::Pacib(a, b)),
+        (r(), r()).prop_map(|(a, b)| I::Autib(a, b)),
+        Just(I::Paciasp),
+        Just(I::Autiasp),
+        Just(I::Retaa),
+        Just(I::Pacibsp),
+        Just(I::Retab),
+        (r(),).prop_map(|(a,)| I::Xpaci(a)),
+        (r(), r(), r()).prop_map(|(a, b, c)| I::Pacga(a, b, c)),
+        (0u16..100).prop_map(I::Svc),
+        Just(I::Nop),
+        Just(I::Bti),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_insn().prop_map(Op::I),
+        Just(Op::Call("callee".to_owned())),
+        Just(Op::TailCall("callee".to_owned())),
+        arb_reg().prop_map(|r| Op::FnAddr(r, "callee".to_owned())),
+        arb_reg().prop_map(|r| Op::LabelAddr(r, "here".to_owned())),
+        Just(Op::Jump("here".to_owned())),
+        (arb_cond(),).prop_map(|(c,)| Op::JumpCond(c, "here".to_owned())),
+        arb_reg().prop_map(|r| Op::JumpZero(r, "here".to_owned())),
+        arb_reg().prop_map(|r| Op::JumpNonZero(r, "here".to_owned())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_parse_display_is_a_fixed_point(
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        let mut program = Program::new();
+        let mut body = vec![Op::Label("here".to_owned())];
+        body.extend(ops);
+        program.function_ops("main", body);
+        program.function("callee", vec![I::Ret]);
+
+        let printed = format!("{program}");
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{printed}"));
+        prop_assert_eq!(printed.clone(), format!("{reparsed}"));
+    }
+
+    #[test]
+    fn garbage_never_panics(source in "\\PC{0,200}") {
+        let _ = parse_program(&source);
+    }
+
+    #[test]
+    fn line_noise_inside_valid_programs_errors_with_line_numbers(
+        junk in "[a-z]{2,8} [a-z0-9, ]{0,16}",
+    ) {
+        let source = format!("main:\n    nop\n    {junk}\n    ret\n");
+        match parse_program(&source) {
+            Ok(_) => {} // the junk happened to be a valid instruction
+            Err(e) => prop_assert_eq!(e.line, 3),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Differential property tests: random straight-line programs executed on
+//! the CPU must match a direct Rust evaluation of the same operations.
+
+use pacstack_aarch64::{Cpu, Instruction as I, Program, Reg};
+use proptest::prelude::*;
+
+/// One random ALU operation on the accumulator.
+#[derive(Debug, Clone, Copy)]
+enum AluOp {
+    AddImm(i32),
+    EorImm(u32),
+    AndImm(u64),
+    Lsr(u32),
+    AddSelf,
+    SubSelf,
+    MulSelf,
+}
+
+fn arb_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        any::<i32>().prop_map(AluOp::AddImm),
+        any::<u32>().prop_map(AluOp::EorImm),
+        any::<u64>().prop_map(AluOp::AndImm),
+        (0u32..64).prop_map(AluOp::Lsr),
+        Just(AluOp::AddSelf),
+        Just(AluOp::SubSelf),
+        Just(AluOp::MulSelf),
+    ]
+}
+
+fn lower_op(op: AluOp) -> I {
+    match op {
+        AluOp::AddImm(v) => I::AddImm(Reg::X0, Reg::X0, i64::from(v)),
+        AluOp::EorImm(v) => I::EorImm(Reg::X0, Reg::X0, u64::from(v)),
+        AluOp::AndImm(v) => I::AndImm(Reg::X0, Reg::X0, v),
+        AluOp::Lsr(s) => I::LsrImm(Reg::X0, Reg::X0, s),
+        AluOp::AddSelf => I::Add(Reg::X0, Reg::X0, Reg::X0),
+        AluOp::SubSelf => I::Sub(Reg::X0, Reg::X0, Reg::X0),
+        AluOp::MulSelf => I::Mul(Reg::X0, Reg::X0, Reg::X0),
+    }
+}
+
+fn eval_op(acc: u64, op: AluOp) -> u64 {
+    match op {
+        AluOp::AddImm(v) => acc.wrapping_add(i64::from(v) as u64),
+        AluOp::EorImm(v) => acc ^ u64::from(v),
+        AluOp::AndImm(v) => acc & v,
+        AluOp::Lsr(s) => acc >> s,
+        AluOp::AddSelf => acc.wrapping_add(acc),
+        AluOp::SubSelf => acc.wrapping_sub(acc),
+        AluOp::MulSelf => acc.wrapping_mul(acc),
+    }
+}
+
+proptest! {
+    #[test]
+    fn alu_matches_reference_semantics(
+        start in any::<u64>(),
+        ops in prop::collection::vec(arb_op(), 0..40),
+    ) {
+        let mut insns = vec![I::MovImm(Reg::X0, start)];
+        insns.extend(ops.iter().map(|&op| lower_op(op)));
+        insns.push(I::Ret);
+        let mut p = Program::new();
+        p.function("main", insns);
+        let mut cpu = Cpu::with_seed(p, 0);
+        let outcome = cpu.run(1000).expect("straight-line code runs clean");
+
+        let expected = ops.iter().fold(start, |acc, &op| eval_op(acc, op));
+        prop_assert_eq!(outcome.exit_code, expected);
+    }
+
+    #[test]
+    fn memory_round_trips_preserve_values(
+        values in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        // Store each value to a distinct stack slot, reload in reverse,
+        // and fold with XOR; compare against the direct fold.
+        let mut insns = vec![I::MovImm(Reg::X1, 0)];
+        for (i, &v) in values.iter().enumerate() {
+            insns.push(I::MovImm(Reg::X0, v));
+            insns.push(I::Str(Reg::X0, Reg::Sp, -(8 * (i as i64 + 1))));
+        }
+        for i in (0..values.len()).rev() {
+            insns.push(I::Ldr(Reg::X0, Reg::Sp, -(8 * (i as i64 + 1))));
+            insns.push(I::Eor(Reg::X1, Reg::X1, Reg::X0));
+        }
+        insns.push(I::Mov(Reg::X0, Reg::X1));
+        insns.push(I::Ret);
+        let mut p = Program::new();
+        p.function("main", insns);
+        let mut cpu = Cpu::with_seed(p, 0);
+        let outcome = cpu.run(1000).expect("runs clean");
+        let expected = values.iter().fold(0u64, |a, v| a ^ v);
+        prop_assert_eq!(outcome.exit_code, expected);
+    }
+
+    #[test]
+    fn pac_strip_recovers_any_canonical_pointer(addr in 0u64..(1 << 39)) {
+        // pacia → xpaci is the identity on address bits for any address.
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![
+                I::MovImm(Reg::X0, addr),
+                I::MovImm(Reg::X1, 0x1234),
+                I::Pacia(Reg::X0, Reg::X1),
+                I::Xpaci(Reg::X0),
+                I::Ret,
+            ],
+        );
+        let mut cpu = Cpu::with_seed(p, 3);
+        let outcome = cpu.run(100).expect("runs clean");
+        prop_assert_eq!(outcome.exit_code, addr);
+    }
+
+    #[test]
+    fn pacia_autia_round_trip_via_registers(
+        addr in 0u64..(1 << 39),
+        modifier in any::<u64>(),
+    ) {
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![
+                I::MovImm(Reg::X0, addr),
+                I::MovImm(Reg::X1, modifier),
+                I::Pacia(Reg::X0, Reg::X1),
+                I::Autia(Reg::X0, Reg::X1),
+                I::Ret,
+            ],
+        );
+        let mut cpu = Cpu::with_seed(p, 9);
+        let outcome = cpu.run(100).expect("runs clean");
+        prop_assert_eq!(outcome.exit_code, addr);
+    }
+}

@@ -1,0 +1,47 @@
+//! The ACS integrity-violation error.
+
+use std::error::Error;
+use std::fmt;
+
+/// Verification of the return-address chain failed.
+///
+/// In hardware this manifests as `autia` producing a non-canonical pointer
+/// that faults at the subsequent `ret`; in the state-machine model it is
+/// surfaced as an error. The PACStack security argument (paper §6.2) relies
+/// on exactly this: a failed guess crashes the process, so the adversary has
+/// one try per process lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcsViolation {
+    /// The invalid pointer the failed authentication produced (`ret*`).
+    pub corrupted: u64,
+    /// Call-stack depth at which the violation was detected.
+    pub depth: usize,
+}
+
+impl fmt::Display for AcsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "authenticated call stack violated at depth {}: return to {:#018x} would fault",
+            self.depth, self.corrupted
+        )
+    }
+}
+
+impl Error for AcsViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_depth_and_pointer() {
+        let v = AcsViolation {
+            corrupted: 0xdead,
+            depth: 3,
+        };
+        let s = v.to_string();
+        assert!(s.contains("depth 3"));
+        assert!(s.contains("0x000000000000dead"));
+    }
+}

@@ -1,0 +1,38 @@
+//! The ACS-bound `jmp_buf` (paper §4.4 and Listings 4–5).
+
+/// A `setjmp` buffer with its return site cryptographically bound to the
+/// chain head at the time of the call.
+///
+/// The buffer lives in ordinary (attacker-writable) memory — all fields are
+/// public because the threat model lets the adversary rewrite them. Security
+/// comes from the binding: `bound_ret = pac(ret, chain) ⊕ pac(sp, chain)`,
+/// so a forged buffer must still pass authentication against a chain value
+/// the adversary cannot produce tokens for.
+///
+/// # Examples
+///
+/// ```
+/// use pacstack_acs::{AcsConfig, AuthenticatedCallStack};
+/// use pacstack_pauth::{PaKeys, PointerAuth, VaLayout};
+///
+/// let pa = PointerAuth::new(VaLayout::default());
+/// let mut acs = AuthenticatedCallStack::new(pa, PaKeys::from_seed(0), AcsConfig::default());
+/// acs.call(0x40_1000);
+/// let buf = acs.setjmp(0x40_9000, 0x7fff_f000);
+/// acs.call(0x40_2000);
+/// assert_eq!(acs.longjmp(&buf)?, 0x40_9000);
+/// # Ok::<(), pacstack_acs::AcsViolation>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JmpBuf {
+    /// `pac(ret_b, aret_i) ⊕ pac(SP_b, aret_i)` — the bound return address.
+    pub bound_ret: u64,
+    /// The stack pointer captured at `setjmp`.
+    pub sp: u64,
+    /// The chain head `aret_i` captured at `setjmp` (the callee-saved CR
+    /// slot of a real `jmp_buf`).
+    pub chain: u64,
+    /// Call depth at `setjmp` — stands in for the stack extent `SP` implies
+    /// in a real address-space model.
+    pub depth: usize,
+}

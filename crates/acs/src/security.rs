@@ -1,0 +1,213 @@
+//! Analytic security bounds from the PACStack paper.
+//!
+//! These closed forms are what the paper's Table 1 and the in-text §4.3 and
+//! §6.2.1 numbers come from; the experiment harness compares Monte Carlo
+//! attack simulations against them.
+//!
+//! # Examples
+//!
+//! ```
+//! use pacstack_acs::security;
+//!
+//! // The paper: with a 16-bit PAC, an adversary expects a collision after
+//! // harvesting ~321 tokens.
+//! let expected = security::expected_tokens_until_collision(16);
+//! assert!((320.0..322.0).contains(&expected));
+//! ```
+
+use crate::Masking;
+use std::fmt;
+
+/// The three classes of call-stack integrity violation the paper analyses
+/// (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// The bogus return still follows the program's call graph — the
+    /// adversary can harvest valid tokens for both sites.
+    OnGraph,
+    /// The return leaves the call graph but targets a valid call-site
+    /// return address (a token for it exists somewhere).
+    OffGraphToCallSite,
+    /// The return targets an address that has never been a return address.
+    OffGraphToArbitrary,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::OnGraph => f.write_str("on-graph"),
+            ViolationKind::OffGraphToCallSite => f.write_str("off-graph to call-site"),
+            ViolationKind::OffGraphToArbitrary => f.write_str("off-graph to arbitrary address"),
+        }
+    }
+}
+
+/// Maximum success probability of a violation, per Table 1 of the paper.
+///
+/// `b` is the PAC width in bits.
+///
+/// # Examples
+///
+/// ```
+/// use pacstack_acs::security::{max_success_probability, ViolationKind};
+/// use pacstack_acs::Masking;
+///
+/// // Without masking, on-graph violations succeed with certainty once a
+/// // collision is found; masking reduces that to a 2^-b guess.
+/// assert_eq!(max_success_probability(ViolationKind::OnGraph, Masking::Unmasked, 16), 1.0);
+/// assert_eq!(
+///     max_success_probability(ViolationKind::OnGraph, Masking::Masked, 16),
+///     2f64.powi(-16)
+/// );
+/// ```
+pub fn max_success_probability(kind: ViolationKind, masking: Masking, b: u32) -> f64 {
+    let p = 2f64.powi(-(b as i32));
+    match (kind, masking) {
+        (ViolationKind::OnGraph, Masking::Unmasked) => 1.0,
+        (ViolationKind::OnGraph, Masking::Masked) => p,
+        (ViolationKind::OffGraphToCallSite, _) => p,
+        (ViolationKind::OffGraphToArbitrary, _) => p * p,
+    }
+}
+
+/// Birthday bound: probability that at least two of `q` harvested `b`-bit
+/// tokens collide (paper §6.2.1).
+///
+/// Computed as `1 − ∏_{i=0}^{q−1} (1 − i·2^{−b})`, numerically stable in
+/// log space for large `q`.
+pub fn collision_probability(q: u64, b: u32) -> f64 {
+    let n = 2f64.powi(b as i32);
+    if q as f64 > n {
+        return 1.0;
+    }
+    let mut log_no_collision = 0f64;
+    for i in 0..q {
+        log_no_collision += (1.0 - i as f64 / n).ln();
+        if log_no_collision < -745.0 {
+            return 1.0;
+        }
+    }
+    1.0 - log_no_collision.exp()
+}
+
+/// Expected number of harvested tokens before the first collision:
+/// `sqrt(π·2^b / 2)` — 321 for `b = 16` (paper §6.2.1).
+pub fn expected_tokens_until_collision(b: u32) -> f64 {
+    (std::f64::consts::PI * 2f64.powi(b as i32) / 2.0).sqrt()
+}
+
+/// Number of guesses needed to succeed with probability `p` against a
+/// `b`-bit token when every failed guess crashes the process and re-keys
+/// (paper §4.3): `log(1−p) / log(1−2^{−b})`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn guesses_for_success_probability(p: f64, b: u32) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    (1.0 - p).ln() / (1.0 - 2f64.powi(-(b as i32))).ln()
+}
+
+/// Expected guesses for the divide-and-conquer strategy against sibling
+/// processes that share a PA key (paper §4.3): `2^b` on average
+/// (`2^{b−1}` per stage, two stages).
+pub fn expected_guesses_shared_key(b: u32) -> f64 {
+    2f64.powi(b as i32)
+}
+
+/// Expected guesses once sibling chains are re-seeded (paper §4.3):
+/// `2^{b+1}` — re-seeding makes the two guesses non-separable.
+pub fn expected_guesses_reseeded(b: u32) -> f64 {
+    2f64.powi(b as i32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_at_b16() {
+        let b = 16;
+        let p = 2f64.powi(-16);
+        assert_eq!(
+            max_success_probability(ViolationKind::OnGraph, Masking::Unmasked, b),
+            1.0
+        );
+        assert_eq!(
+            max_success_probability(ViolationKind::OnGraph, Masking::Masked, b),
+            p
+        );
+        assert_eq!(
+            max_success_probability(ViolationKind::OffGraphToCallSite, Masking::Unmasked, b),
+            p
+        );
+        assert_eq!(
+            max_success_probability(ViolationKind::OffGraphToCallSite, Masking::Masked, b),
+            p
+        );
+        assert_eq!(
+            max_success_probability(ViolationKind::OffGraphToArbitrary, Masking::Masked, b),
+            p * p
+        );
+    }
+
+    #[test]
+    fn paper_321_tokens_at_b16() {
+        let expected = expected_tokens_until_collision(16);
+        assert!((expected - 321.0).abs() < 1.0, "{expected}");
+    }
+
+    #[test]
+    fn collision_probability_is_monotone_in_q() {
+        let mut last = 0.0;
+        for q in [0u64, 10, 100, 321, 1000, 5000] {
+            let p = collision_probability(q, 16);
+            assert!(p >= last, "q={q}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn collision_probability_near_half_at_birthday_point() {
+        // At q ≈ 1.1774·sqrt(2^b) the collision probability crosses 1/2.
+        let q = (1.1774 * 2f64.powi(8)).round() as u64;
+        let p = collision_probability(q, 16);
+        assert!((0.45..0.55).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn collision_probability_saturates() {
+        assert_eq!(collision_probability(1 << 17, 16), 1.0);
+    }
+
+    #[test]
+    fn guessing_cost_matches_geometric_intuition() {
+        // Succeeding with p = 1/2 against a b-bit token needs ~ln(2)·2^b tries.
+        let g = guesses_for_success_probability(0.5, 16);
+        let expected = std::f64::consts::LN_2 * 65536.0;
+        assert!((g - expected).abs() / expected < 0.01, "g = {g}");
+    }
+
+    #[test]
+    fn reseeding_doubles_the_shared_key_cost() {
+        assert_eq!(
+            expected_guesses_reseeded(16),
+            2.0 * expected_guesses_shared_key(16)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn guessing_cost_rejects_p_one() {
+        let _ = guesses_for_success_probability(1.0, 16);
+    }
+
+    #[test]
+    fn violation_kinds_display() {
+        assert_eq!(ViolationKind::OnGraph.to_string(), "on-graph");
+        assert_eq!(
+            ViolationKind::OffGraphToCallSite.to_string(),
+            "off-graph to call-site"
+        );
+    }
+}

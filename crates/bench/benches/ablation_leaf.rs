@@ -1,0 +1,37 @@
+//! Ablation: the leaf-function heuristic (DESIGN.md ablation #4) —
+//! instrumenting leaves too costs cycles for no added return-address
+//! protection (leaves never spill LR).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pacstack_aarch64::Cpu;
+use pacstack_compiler::{lower_with_options, LowerOptions, Scheme};
+use pacstack_workloads::spec::{c_benchmark, Suite};
+
+fn bench_leaf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_leaf");
+    group.sample_size(10);
+    let module = c_benchmark("perlbench").unwrap().module(Suite::Rate);
+    for (name, instrument_leaves) in [("heuristic", false), ("instrument_leaves", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let program = lower_with_options(
+                    &module,
+                    Scheme::PacStack,
+                    LowerOptions { instrument_leaves },
+                );
+                let mut cpu = Cpu::with_seed(program, 1);
+                loop {
+                    match cpu.run(2_000_000_000).expect("clean run").status {
+                        pacstack_aarch64::RunStatus::Exited(_) => break,
+                        _ => continue,
+                    }
+                }
+                cpu.cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaf);
+criterion_main!(benches);

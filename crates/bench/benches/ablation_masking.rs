@@ -1,0 +1,37 @@
+//! Ablation: what PAC masking costs (DESIGN.md ablation #1) — the pure ACS
+//! state-machine operations with and without masking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pacstack_acs::{AcsConfig, AuthenticatedCallStack, Masking};
+use pacstack_pauth::{PaKeys, PointerAuth, VaLayout};
+
+fn bench_masking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_masking");
+    for masking in [Masking::Masked, Masking::Unmasked] {
+        group.bench_with_input(
+            BenchmarkId::new("call_ret_x64", masking),
+            &masking,
+            |b, &masking| {
+                let pa = PointerAuth::new(VaLayout::default());
+                let keys = PaKeys::from_seed(1);
+                b.iter(|| {
+                    let mut acs = AuthenticatedCallStack::new(
+                        pa,
+                        keys.clone(),
+                        AcsConfig::default().masking(masking),
+                    );
+                    for i in 0..64u64 {
+                        acs.call(0x40_0000 + i * 4);
+                    }
+                    for _ in 0..64 {
+                        acs.ret().expect("clean chain");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_masking);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 5 / Table 2: simulator runs of the SPEC-profile workloads under
+//! each scheme. The interesting output is the cycle ratio printed by
+//! `repro figure5`; this bench tracks simulator throughput per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pacstack_compiler::Scheme;
+use pacstack_workloads::measure::run_module;
+use pacstack_workloads::spec::{c_benchmark, Suite};
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    for scheme in [Scheme::Baseline, Scheme::PacStack, Scheme::PacStackNomask] {
+        let module = c_benchmark("xz").unwrap().module(Suite::Rate);
+        group.bench_with_input(BenchmarkId::new("xz", scheme), &module, |b, m| {
+            b.iter(|| run_module(m, scheme, 2_000_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the cryptographic substrate: QARMA-64 encryption and
+//! the PAC sign/verify operations every instrumented call performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pacstack_pauth::{PaKey, PaKeys, PointerAuth, VaLayout};
+use pacstack_qarma::{Key128, Qarma64};
+use std::hint::black_box;
+
+fn bench_qarma(c: &mut Criterion) {
+    let cipher = Qarma64::recommended(Key128::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+    c.bench_function("qarma64_encrypt", |b| {
+        b.iter(|| cipher.encrypt(black_box(0xfb623599da6e8127), black_box(0x477d469dec0b8762)))
+    });
+    c.bench_function("qarma64_decrypt", |b| {
+        b.iter(|| cipher.decrypt(black_box(0x3ee99a6c82af0c38), black_box(0x477d469dec0b8762)))
+    });
+}
+
+fn bench_pac(c: &mut Criterion) {
+    let pa = PointerAuth::new(VaLayout::default());
+    let keys = PaKeys::from_seed(1);
+    let signed = pa.pac(&keys, PaKey::Ia, 0x40_1000, 77);
+    c.bench_function("pac_sign", |b| {
+        b.iter(|| pa.pac(&keys, PaKey::Ia, black_box(0x40_1000), black_box(77)))
+    });
+    c.bench_function("pac_verify", |b| {
+        b.iter(|| pa.aut(&keys, PaKey::Ia, black_box(signed), black_box(77)))
+    });
+}
+
+criterion_group!(benches, bench_qarma, bench_pac);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1: Monte Carlo attack-success measurement as a benchmark target —
+//! tracks the cost of the security experiments themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pacstack_acs::Masking;
+use pacstack_attacks::{collision, offgraph};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("on_graph_masked_b4", |b| {
+        b.iter(|| collision::on_graph_attack(4, Masking::Masked, black_box(100), 7))
+    });
+    group.bench_function("off_graph_call_site_b4", |b| {
+        b.iter(|| offgraph::to_call_site(4, Masking::Masked, black_box(100), 7))
+    });
+    group.bench_function("off_graph_arbitrary_b4", |b| {
+        b.iter(|| offgraph::to_arbitrary_address(4, Masking::Masked, black_box(100), 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 3: the NGINX SSL-TPS server model under each configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pacstack_compiler::Scheme;
+use pacstack_workloads::measure::run_module;
+use pacstack_workloads::nginx::server_module;
+
+fn bench_nginx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let module = server_module(40);
+    for scheme in [Scheme::Baseline, Scheme::PacStackNomask, Scheme::PacStack] {
+        group.bench_with_input(BenchmarkId::new("ssl_tps", scheme), &module, |b, m| {
+            b.iter(|| run_module(m, scheme, 2_000_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nginx);
+criterion_main!(benches);

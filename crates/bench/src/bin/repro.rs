@@ -1,0 +1,174 @@
+//! Regenerates the PACStack paper's tables and figures.
+//!
+//! ```text
+//! repro table1     Table 1   attack success probabilities
+//! repro figure5    Figure 5  per-benchmark SPEC overheads
+//! repro table2     Table 2   geometric-mean overheads
+//! repro table3     Table 3   NGINX SSL TPS
+//! repro birthday   §6.2.1    collision harvesting vs birthday bound
+//! repro guessing   §4.3      divide-and-conquer vs re-seeded guessing
+//! repro gadget     §6.3.1    qualitative attack matrix (incl. tail-call gadget)
+//! repro ablation   DESIGN.md ablations: masking cost, leaf heuristic
+//! repro games      Appendix A: the G-PAC-Collision security game
+//! repro pac-width  §2.2      PAC width vs address-space configuration
+//! repro confirm    §7.3      ConFIRM compatibility pass/fail table
+//! repro mix        §7.1      retired instructions by class per scheme
+//! repro reuse      §6.1      interchangeable signed pointers per scheme
+//! repro all        everything above
+//! ```
+//!
+//! Add `--save <dir>` to also write each section to `<dir>/<name>.txt`
+//! (artifact-evaluation style).
+
+use pacstack_bench::{experiments, render};
+use std::env;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Prints a section and, when `--save <dir>` was given, also writes it to
+/// `<dir>/<name>.txt`.
+fn emit(save_dir: &Option<PathBuf>, name: &str, body: &str) {
+    println!("{body}");
+    if let Some(dir) = save_dir {
+        let path = dir.join(format!("{name}.txt"));
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+            Ok(()) => eprintln!("saved {}", path.display()),
+            Err(e) => eprintln!("could not save {}: {e}", path.display()),
+        }
+    }
+}
+
+fn run_table1(save: &Option<PathBuf>) {
+    let mut body = String::new();
+    for b in [4u32, 6, 8] {
+        let cells = experiments::table1(b, 4_000, 0x71u64);
+        body.push_str(&render::table1(&cells, b));
+        body.push('\n');
+    }
+    emit(save, "table1", &body);
+}
+
+fn run_figure5(save: &Option<PathBuf>) -> Vec<experiments::Figure5Row> {
+    let rows = experiments::figure5();
+    emit(save, "figure5", &render::figure5(&rows));
+    rows
+}
+
+fn run_table2(save: &Option<PathBuf>, rows: &[experiments::Figure5Row]) {
+    let t2 = experiments::table2(rows);
+    let cpp = experiments::cpp_aggregate();
+    emit(save, "table2", &render::table2(&t2, cpp));
+}
+
+fn run_table3(save: &Option<PathBuf>) {
+    let rows = experiments::table3(10, 42);
+    emit(save, "table3", &render::table3(&rows));
+}
+
+fn run_birthday(save: &Option<PathBuf>) {
+    let rows = experiments::birthday(&[6, 8, 10, 12], 60, 7);
+    emit(save, "birthday", &render::birthday(&rows));
+}
+
+fn run_guessing(save: &Option<PathBuf>) {
+    let rows = experiments::guessing_costs(&[6, 8, 10], 200);
+    emit(save, "guessing", &render::guessing(&rows));
+}
+
+fn run_gadget(save: &Option<PathBuf>) {
+    let rows = experiments::attack_matrix();
+    emit(save, "attack_matrix", &render::attack_matrix(&rows));
+}
+
+fn run_ablation(save: &Option<PathBuf>) {
+    let rows = experiments::ablations();
+    emit(save, "ablation", &render::ablations(&rows));
+}
+
+fn run_confirm(save: &Option<PathBuf>) {
+    let rows = experiments::confirm_table();
+    emit(save, "confirm", &render::confirm(&rows));
+}
+
+fn run_mix(save: &Option<PathBuf>) {
+    let rows = experiments::instruction_mix();
+    emit(save, "instruction_mix", &render::instruction_mix(&rows));
+}
+
+fn run_pac_width(save: &Option<PathBuf>) {
+    let rows = experiments::pac_width_sweep();
+    emit(save, "pac_width", &render::pac_width(&rows));
+}
+
+fn run_reuse(save: &Option<PathBuf>) {
+    let rows = experiments::reuse_opportunities();
+    emit(save, "reuse", &render::reuse(&rows));
+}
+
+fn run_games(save: &Option<PathBuf>) {
+    let rows = experiments::collision_games(&[6, 8, 10], 40, 0xA11CE);
+    emit(save, "games", &render::games(&rows));
+}
+
+fn main() -> ExitCode {
+    let mut experiment = "all".to_owned();
+    let mut save: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--save" {
+            let Some(dir) = args.next() else {
+                eprintln!("--save needs a directory");
+                return ExitCode::FAILURE;
+            };
+            let dir = PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            save = Some(dir);
+        } else {
+            experiment = arg;
+        }
+    }
+    match experiment.as_str() {
+        "table1" => run_table1(&save),
+        "figure5" => {
+            run_figure5(&save);
+        }
+        "table2" => {
+            let rows = experiments::figure5();
+            run_table2(&save, &rows);
+        }
+        "table3" => run_table3(&save),
+        "birthday" => run_birthday(&save),
+        "guessing" => run_guessing(&save),
+        "gadget" => run_gadget(&save),
+        "ablation" => run_ablation(&save),
+        "games" => run_games(&save),
+        "pac-width" => run_pac_width(&save),
+        "confirm" => run_confirm(&save),
+        "mix" => run_mix(&save),
+        "reuse" => run_reuse(&save),
+        "all" => {
+            run_table1(&save);
+            let rows = run_figure5(&save);
+            run_table2(&save, &rows);
+            run_table3(&save);
+            run_birthday(&save);
+            run_guessing(&save);
+            run_gadget(&save);
+            run_ablation(&save);
+            run_games(&save);
+            run_pac_width(&save);
+            run_confirm(&save);
+            run_mix(&save);
+            run_reuse(&save);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; see the module docs");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

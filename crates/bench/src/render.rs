@@ -1,0 +1,283 @@
+//! Plain-text rendering of experiment results, in the layout of the
+//! paper's tables.
+
+use crate::experiments::{
+    AblationRow, AttackMatrixRow, BirthdayRow, ConfirmRow, Figure5Row, GameRow, GuessingRow,
+    MixRow, PacWidthRow, ReuseRow, Table1Cell, Table2Row, Table3Row,
+};
+use pacstack_acs::Masking;
+use pacstack_workloads::spec::Suite;
+
+/// Renders Table 1.
+pub fn table1(cells: &[Table1Cell], b: u32) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1 — max success probability of call-stack integrity violations (b = {b})\n"
+    ));
+    out.push_str(&format!(
+        "{:<32} {:>12} {:>10} {:>21} {:>10} {:>8}\n",
+        "violation type", "variant", "measured", "95% CI", "analytic", "trials"
+    ));
+    for cell in cells {
+        let variant = match cell.masking {
+            Masking::Masked => "masking",
+            Masking::Unmasked => "no masking",
+        };
+        out.push_str(&format!(
+            "{:<32} {:>12} {:>10.6} [{:>8.6}, {:>8.6}] {:>10.6} {:>8}\n",
+            cell.kind.to_string(),
+            variant,
+            cell.measured,
+            cell.interval.0,
+            cell.interval.1,
+            cell.analytic,
+            cell.trials
+        ));
+    }
+    out
+}
+
+/// Renders Figure 5 as a horizontal bar chart per suite.
+pub fn figure5(rows: &[Figure5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5 — mean run-time overhead per SPEC CPU 2017 C benchmark (%)\n");
+    for suite in [Suite::Rate, Suite::Speed] {
+        out.push_str(&format!("\n  {suite}\n"));
+        out.push_str(&format!(
+            "  {:<12} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "benchmark", "PACStack", "nomask", "SCS", "pac-ret", "canary"
+        ));
+        for row in rows.iter().filter(|r| r.suite == suite) {
+            out.push_str(&format!("  {:<12}", row.name));
+            for (_, overhead) in &row.overheads {
+                out.push_str(&format!(" {overhead:>9.2}"));
+            }
+            let full = row.overheads[0].1;
+            let bar_len = (full * 8.0).round().max(0.0) as usize;
+            out.push_str(&format!("   |{}\n", "█".repeat(bar_len.min(70))));
+        }
+    }
+    out
+}
+
+/// Renders Table 2.
+pub fn table2(rows: &[Table2Row], cpp: (f64, f64)) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2 — geometric mean of measured overheads (%, perlbench excluded)\n");
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10}\n",
+        "", "SPECrate", "SPECspeed"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<28} {:>10.2} {:>10.2}\n",
+            row.scheme.to_string(),
+            row.rate,
+            row.speed
+        ));
+    }
+    out.push_str(&format!(
+        "C++ benchmarks: PACStack {:.1}%, PACStack-nomask {:.1}% (paper: 2.0%, 0.9%)\n",
+        cpp.0, cpp.1
+    ));
+    out
+}
+
+/// Renders Table 3.
+pub fn table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3 — NGINX SSL transactions per second\n");
+    out.push_str(&format!(
+        "{:>8} {:>14} {:>8} {:>14} {:>8} {:>8} {:>14} {:>8} {:>8}\n",
+        "workers", "baseline", "σ", "nomask", "σ", "loss%", "PACStack", "σ", "loss%"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>8} {:>14.0} {:>8.0} {:>14.0} {:>8.0} {:>8.1} {:>14.0} {:>8.0} {:>8.1}\n",
+            row.workers,
+            row.baseline.mean_tps,
+            row.baseline.sigma,
+            row.nomask.mean_tps,
+            row.nomask.sigma,
+            row.nomask_loss(),
+            row.pacstack.mean_tps,
+            row.pacstack.sigma,
+            row.pacstack_loss(),
+        ));
+    }
+    out
+}
+
+/// Renders the birthday experiment.
+pub fn birthday(rows: &[BirthdayRow]) -> String {
+    let mut out = String::new();
+    out.push_str("§6.2.1 — tokens harvested before the first collision (birthday bound)\n");
+    out.push_str(&format!(
+        "{:>4} {:>16} {:>20} {:>8}\n",
+        "b", "measured mean", "sqrt(π·2^b/2)", "runs"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>4} {:>16.1} {:>20.1} {:>8}\n",
+            row.b, row.measured_mean, row.analytic, row.runs
+        ));
+    }
+    out.push_str("(paper: 321 tokens at b = 16)\n");
+    out
+}
+
+/// Renders the guessing experiment.
+pub fn guessing(rows: &[GuessingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("§4.3 — expected guesses against forked siblings\n");
+    out.push_str(&format!(
+        "{:>4} {:>18} {:>10} {:>18} {:>10}\n",
+        "b", "shared-key mean", "2^b", "re-seeded mean", "2^(b+1)"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>4} {:>18.0} {:>10.0} {:>18.0} {:>10.0}\n",
+            row.b,
+            row.shared_key_mean,
+            row.shared_key_analytic,
+            row.reseeded_mean,
+            row.reseeded_analytic
+        ));
+    }
+    out
+}
+
+/// Renders the qualitative attack matrix.
+pub fn attack_matrix(rows: &[AttackMatrixRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Qualitative attack matrix (§2, §6.1, §6.3.1)\n");
+    for row in rows {
+        out.push_str(&format!("\n  {}\n", row.attack));
+        for (scheme, outcome) in &row.outcomes {
+            out.push_str(&format!("    {:<26} {}\n", scheme.to_string(), outcome));
+        }
+    }
+    out
+}
+
+/// Renders the ablation table.
+pub fn ablations(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablations (DESIGN.md) — cycle cost of design choices on perlbench\n");
+    out.push_str(&format!(
+        "{:<42} {:>14} {:>14} {:>8}\n",
+        "choice", "cycles (on)", "cycles (off)", "cost"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<42} {:>14} {:>14} {:>7.2}%\n",
+            row.label,
+            row.cycles_on,
+            row.cycles_off,
+            row.delta_percent()
+        ));
+    }
+    out
+}
+
+/// Renders the Appendix A collision-game results.
+pub fn games(rows: &[GameRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Appendix A — G-PAC-Collision: birthday adversary win rate\n");
+    out.push_str(&format!(
+        "{:>4} {:>16} {:>16} {:>12}\n",
+        "b", "unmasked", "masked", "chance 2^-b"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>4} {:>16.4} {:>16.4} {:>12.4}\n",
+            row.b, row.unmasked_win_rate, row.masked_win_rate, row.chance
+        ));
+    }
+    out.push_str("(Theorem 1: masking collapses the win rate to chance)\n");
+    out
+}
+
+/// Renders the PAC-width sweep.
+pub fn pac_width(rows: &[PacWidthRow]) -> String {
+    let mut out = String::new();
+    out.push_str("\u{a7}2.2 \u{2014} PAC width vs address-space configuration\n");
+    out.push_str(&format!(
+        "{:<38} {:>4} {:>12} {:>18} {:>16}\n",
+        "layout", "b", "P[guess]", "collision tokens", "guesses to 50%"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<38} {:>4} {:>12.2e} {:>18.0} {:>16.3e}\n",
+            row.layout, row.b, row.guess_probability, row.collision_tokens, row.guesses_for_half
+        ));
+    }
+    out
+}
+
+/// Renders the ConFIRM compatibility table.
+pub fn confirm(rows: &[ConfirmRow]) -> String {
+    let mut out = String::new();
+    out.push_str("\u{a7}7.3 \u{2014} ConFIRM-style compatibility suite\n");
+    out.push_str(&format!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "case", "baseline", "canary", "pac-ret", "SCS", "nomask", "PACStack"
+    ));
+    for row in rows {
+        out.push_str(&format!("{:<20}", row.name));
+        for (_, passed) in &row.results {
+            out.push_str(&format!(" {:>9}", if *passed { "pass" } else { "FAIL" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the instruction-mix table.
+pub fn instruction_mix(rows: &[MixRow]) -> String {
+    let mut out = String::new();
+    out.push_str("\u{a7}7.1 \u{2014} retired instructions by class (gcc profile)\n");
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "scheme", "total", "PA", "memory", "branch", "other", "added"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>+10}\n",
+            row.scheme.to_string(),
+            row.counters.total(),
+            row.counters.pointer_auth,
+            row.counters.memory,
+            row.counters.branches,
+            row.counters.other,
+            row.added_vs_baseline
+        ));
+    }
+    out
+}
+
+/// Renders the §6.1 reuse-opportunity analysis.
+pub fn reuse(rows: &[ReuseRow]) -> String {
+    let mut out = String::new();
+    out.push_str("\u{a7}6.1 \u{2014} interchangeable signed return addresses (gcc profile)\n");
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>12} {:>14} {:>16} {:>10}\n",
+        "scheme", "spilled", "modifiers", "reuse groups", "interchangeable", "fraction"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>12} {:>14} {:>16} {:>9.1}%\n",
+            row.scheme.to_string(),
+            row.spilled_signings,
+            row.distinct_modifiers,
+            row.reusable_modifier_groups,
+            row.interchangeable_pointers,
+            row.interchangeable_fraction() * 100.0
+        ));
+    }
+    out.push_str(
+        "(pac-ret spills SP-signed pointers that coincide; PACStack keeps the signed
+ head in CR \u{2014} substituting stored links needs a MAC collision, Table 1)\n",
+    );
+    out
+}

@@ -1,0 +1,103 @@
+//! The six return-address protection schemes the paper compares.
+
+use std::fmt;
+
+/// A return-address protection scheme, matching the paper's §7 evaluation
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// No protection — the baseline every overhead is measured against.
+    Baseline,
+    /// `-mstack-protector-strong`: a stack canary checked before return.
+    /// Weakest protection, cheapest instrumentation.
+    StackProtector,
+    /// `-mbranch-protection` (pac-ret): `paciasp`/`retaa` with `SP` as the
+    /// modifier — vulnerable to reuse of signed return addresses across
+    /// coinciding `SP` values (paper §2.2.1).
+    PacRet,
+    /// LLVM ShadowCallStack: return addresses duplicated on a shadow stack
+    /// addressed through the reserved `X18` — secure only while the shadow
+    /// stack's location stays secret.
+    ShadowCallStack,
+    /// PACStack without PAC masking (paper "PACStack-nomask").
+    PacStackNomask,
+    /// Full PACStack: chained MACs with masked authentication tokens.
+    PacStack,
+}
+
+impl Scheme {
+    /// All schemes in the order the paper's figures list them.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Baseline,
+        Scheme::StackProtector,
+        Scheme::PacRet,
+        Scheme::ShadowCallStack,
+        Scheme::PacStackNomask,
+        Scheme::PacStack,
+    ];
+
+    /// Whether the scheme reserves a general-purpose register
+    /// (`X18` for ShadowCallStack, `X28` for the PACStack variants).
+    pub fn reserves_register(self) -> bool {
+        matches!(
+            self,
+            Scheme::ShadowCallStack | Scheme::PacStackNomask | Scheme::PacStack
+        )
+    }
+
+    /// Whether the scheme uses pointer-authentication instructions.
+    pub fn uses_pointer_auth(self) -> bool {
+        matches!(
+            self,
+            Scheme::PacRet | Scheme::PacStackNomask | Scheme::PacStack
+        )
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scheme::Baseline => "baseline",
+            Scheme::StackProtector => "-mstack-protector-strong",
+            Scheme::PacRet => "-mbranch-protection",
+            Scheme::ShadowCallStack => "ShadowCallStack",
+            Scheme::PacStackNomask => "PACStack-nomask",
+            Scheme::PacStack => "PACStack",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_six_schemes() {
+        assert_eq!(Scheme::ALL.len(), 6);
+        assert_eq!(Scheme::ALL[0], Scheme::Baseline);
+        assert_eq!(Scheme::ALL[5], Scheme::PacStack);
+    }
+
+    #[test]
+    fn register_reservation_matches_paper() {
+        assert!(Scheme::PacStack.reserves_register());
+        assert!(Scheme::ShadowCallStack.reserves_register());
+        assert!(!Scheme::PacRet.reserves_register());
+        assert!(!Scheme::Baseline.reserves_register());
+    }
+
+    #[test]
+    fn pa_usage_matches_paper() {
+        assert!(Scheme::PacRet.uses_pointer_auth());
+        assert!(Scheme::PacStack.uses_pointer_auth());
+        assert!(!Scheme::ShadowCallStack.uses_pointer_auth());
+        assert!(!Scheme::StackProtector.uses_pointer_auth());
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(Scheme::PacStackNomask.to_string(), "PACStack-nomask");
+        assert_eq!(Scheme::PacRet.to_string(), "-mbranch-protection");
+    }
+}

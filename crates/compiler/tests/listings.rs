@@ -1,0 +1,159 @@
+//! Golden tests: the emitted prologue/epilogue sequences must match the
+//! paper's listings instruction for instruction.
+//!
+//! Listing 1 (`-mbranch-protection`), the §5 nomask sequence, and
+//! Listing 3 (full PACStack with masking) are the normative artifacts the
+//! whole reproduction hangs off — these tests pin them.
+
+use pacstack_compiler::{lower, FuncDef, Module, Scheme, Stmt};
+
+/// Lowers a minimal non-leaf function and returns its listing text.
+fn listing_of(scheme: Scheme) -> String {
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("subject".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "subject",
+        vec![Stmt::Call("callee".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new("callee", vec![Stmt::Compute(1), Stmt::Return]));
+    let program = lower(&m, scheme);
+    let text = format!("{program}");
+    text.split("subject:")
+        .nth(1)
+        .expect("subject present")
+        .split("callee:")
+        .next()
+        .expect("subject body")
+        .to_owned()
+}
+
+/// Extracts the non-empty instruction lines.
+fn lines(listing: &str) -> Vec<String> {
+    listing
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn pacstack_sequence_matches_listing_3() {
+    let lines = lines(&listing_of(Scheme::PacStack));
+    let expected = [
+        // prologue (Listing 3 lines 2–9, plus FP-chain setup and the
+        // register-pressure spill this lowering models)
+        "str x28, [sp, #-48]!",  // stack ← aret_{i-1}
+        "stp fp, lr, [sp, #16]", // frame record (plain ret — §5 compat)
+        "add fp, sp, #16",
+        "mov x15, xzr",
+        "pacia lr, x28",  // LR ← aret_i (unmasked)
+        "pacia x15, x28", // X15 ← mask_i
+        "eor lr, lr, x15",
+        "mov x15, xzr",
+        "mov x28, lr", // CR ← aret_i
+        "str x19, [sp, #32]",
+        // body
+        "bl",
+        // epilogue (Listing 3 lines 12–20)
+        "ldr x19, [sp, #32]",
+        "mov lr, x28",
+        "ldr fp, [sp, #16]",  // skip ret in frame record
+        "ldr x28, [sp], #48", // CR ← aret_{i-1}
+        "mov x15, xzr",
+        "pacia x15, x28", // recreate mask
+        "eor lr, lr, x15",
+        "mov x15, xzr",
+        "autia lr, x28", // verify
+        "ret",
+    ];
+    assert_eq!(lines.len(), expected.len(), "sequence length: {lines:#?}");
+    for (got, want) in lines.iter().zip(expected.iter()) {
+        assert!(
+            got.starts_with(want),
+            "mismatch: got {got:?}, expected prefix {want:?}"
+        );
+    }
+}
+
+#[test]
+fn nomask_sequence_matches_section_5() {
+    let lines = lines(&listing_of(Scheme::PacStackNomask));
+    let expected = [
+        "str x28, [sp, #-48]!",
+        "stp fp, lr, [sp, #16]",
+        "add fp, sp, #16",
+        "pacia lr, x28",
+        "mov x28, lr",
+        "str x19, [sp, #32]",
+        "bl",
+        "ldr x19, [sp, #32]",
+        "mov lr, x28",
+        "ldr fp, [sp, #16]",
+        "ldr x28, [sp], #48",
+        "autia lr, x28",
+        "ret",
+    ];
+    assert_eq!(lines.len(), expected.len(), "sequence length: {lines:#?}");
+    for (got, want) in lines.iter().zip(expected.iter()) {
+        assert!(
+            got.starts_with(want),
+            "mismatch: got {got:?}, expected prefix {want:?}"
+        );
+    }
+}
+
+#[test]
+fn pac_ret_sequence_matches_listing_1() {
+    let lines = lines(&listing_of(Scheme::PacRet));
+    // Listing 1: paciasp signs, conventional spill, retaa verifies+returns.
+    assert_eq!(lines.first().map(String::as_str), Some("paciasp"));
+    assert_eq!(lines.last().map(String::as_str), Some("retaa"));
+    assert!(lines.iter().any(|l| l.starts_with("stp fp, lr")));
+    assert!(
+        !lines.iter().any(|l| l.contains("x28")),
+        "pac-ret must not touch CR"
+    );
+}
+
+#[test]
+fn shadow_call_stack_uses_x18_push_pop() {
+    let lines = lines(&listing_of(Scheme::ShadowCallStack));
+    assert_eq!(lines.first().map(String::as_str), Some("str lr, [x18], #8"));
+    assert!(lines.iter().any(|l| l == "ldr lr, [x18, #-8]!"));
+    assert_eq!(lines.last().map(String::as_str), Some("ret"));
+}
+
+#[test]
+fn baseline_has_no_protection_instructions() {
+    let text = listing_of(Scheme::Baseline);
+    for forbidden in ["pacia", "autia", "paciasp", "retaa", "x18", "x28"] {
+        assert!(
+            !text.contains(forbidden),
+            "baseline contains {forbidden}: {text}"
+        );
+    }
+}
+
+#[test]
+fn pacstack_never_stores_the_unmasked_aret() {
+    // The security argument requires that only *masked* tokens ever reach
+    // memory: between `pacia lr, x28` and the store of CR...  in Listing 3
+    // the store happens *before* signing (the spilled value is the
+    // previous, already-masked link). Verify no str of LR appears between
+    // pacia and the eor.
+    let listing = listing_of(Scheme::PacStack);
+    let lines = lines(&listing);
+    let pacia_idx = lines
+        .iter()
+        .position(|l| l.starts_with("pacia lr"))
+        .unwrap();
+    let eor_idx = lines.iter().position(|l| l.starts_with("eor lr")).unwrap();
+    for line in &lines[pacia_idx..eor_idx] {
+        assert!(!line.starts_with("str lr"), "unmasked aret stored: {line}");
+        assert!(!line.starts_with("stp"), "unmasked aret stored: {line}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests: randomly generated programs must behave
+//! identically under every protection scheme — the strongest form of the
+//! paper's compatibility requirement (R3).
+
+use pacstack_aarch64::{Cpu, RunStatus};
+use pacstack_compiler::{lower_with_options, FuncDef, LowerOptions, Module, Scheme, Stmt};
+use proptest::prelude::*;
+
+/// A recipe for one generated function body.
+#[derive(Debug, Clone)]
+enum BodyPiece {
+    Compute(u32),
+    Mem(u32),
+    CallNext,
+    CallNextIndirect,
+    Emit,
+    LoopCallNext(u32),
+}
+
+fn arb_piece() -> impl Strategy<Value = BodyPiece> {
+    prop_oneof![
+        (1u32..12).prop_map(BodyPiece::Compute),
+        (1u32..5).prop_map(BodyPiece::Mem),
+        Just(BodyPiece::CallNext),
+        Just(BodyPiece::CallNextIndirect),
+        Just(BodyPiece::Emit),
+        (1u32..4).prop_map(BodyPiece::LoopCallNext),
+    ]
+}
+
+/// Builds a module as a layered call DAG: function `i` may only call
+/// function `i + 1`, guaranteeing termination.
+fn build_module(layers: &[Vec<BodyPiece>], tail_call_last: bool) -> Module {
+    let mut m = Module::new();
+    let name = |i: usize| {
+        if i == 0 {
+            "main".to_owned()
+        } else {
+            format!("f{i}")
+        }
+    };
+    for (i, pieces) in layers.iter().enumerate() {
+        let next = name(i + 1);
+        let has_next = i + 1 < layers.len();
+        let mut body = Vec::new();
+        for piece in pieces {
+            match piece {
+                BodyPiece::Compute(n) => body.push(Stmt::Compute(*n)),
+                BodyPiece::Mem(n) => body.push(Stmt::MemAccess(*n)),
+                BodyPiece::CallNext if has_next => body.push(Stmt::Call(next.clone())),
+                BodyPiece::CallNextIndirect if has_next => {
+                    body.push(Stmt::CallIndirect(next.clone()))
+                }
+                BodyPiece::LoopCallNext(n) if has_next => body.push(Stmt::Loop(
+                    *n,
+                    vec![Stmt::Call(next.clone()), Stmt::Compute(1)],
+                )),
+                BodyPiece::Emit => body.push(Stmt::Emit),
+                // Callish pieces in the last layer degrade to compute.
+                _ => body.push(Stmt::Compute(1)),
+            }
+        }
+        if tail_call_last && has_next && i == 0 {
+            body.push(Stmt::TailCall(next));
+        } else {
+            body.push(Stmt::Return);
+        }
+        m.push(FuncDef::new(&name(i), body));
+    }
+    m
+}
+
+fn run(module: &Module, scheme: Scheme, leaves: bool) -> (u64, Vec<u64>, u64) {
+    let program = lower_with_options(
+        module,
+        scheme,
+        LowerOptions {
+            instrument_leaves: leaves,
+        },
+    );
+    let mut cpu = Cpu::with_seed(program, 1);
+    let out = cpu
+        .run(50_000_000)
+        .expect("generated program must run clean");
+    match out.status {
+        RunStatus::Exited(code) => (code, cpu.output().to_vec(), out.cycles),
+        RunStatus::Syscall(n) => panic!("unexpected syscall {n}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_are_scheme_invariant(
+        layers in prop::collection::vec(prop::collection::vec(arb_piece(), 1..6), 1..5),
+        tail in any::<bool>(),
+    ) {
+        let module = build_module(&layers, tail);
+        let (exit, output, base_cycles) = run(&module, Scheme::Baseline, false);
+        for scheme in Scheme::ALL {
+            let (e, o, c) = run(&module, scheme, false);
+            prop_assert_eq!(e, exit, "{} exit", scheme);
+            prop_assert_eq!(o.clone(), output.clone(), "{} output", scheme);
+            prop_assert!(c >= base_cycles, "{} ran faster than baseline", scheme);
+        }
+    }
+
+    #[test]
+    fn leaf_instrumentation_preserves_behaviour(
+        layers in prop::collection::vec(prop::collection::vec(arb_piece(), 1..5), 1..4),
+    ) {
+        let module = build_module(&layers, false);
+        let (exit, output, _) = run(&module, Scheme::PacStack, false);
+        let (e, o, c_leaves) = run(&module, Scheme::PacStack, true);
+        prop_assert_eq!(e, exit);
+        prop_assert_eq!(o, output);
+        let (_, _, c_heuristic) = run(&module, Scheme::PacStack, false);
+        prop_assert!(c_leaves >= c_heuristic, "heuristic should never cost more");
+    }
+
+    #[test]
+    fn random_programs_support_exceptions(
+        pre in prop::collection::vec(arb_piece(), 0..4),
+        deep in any::<bool>(),
+    ) {
+        // Wrap a thrower in TryCatch at random nesting.
+        let thrower: Vec<Stmt> = vec![Stmt::Throw { buf: 0, value: 9 }, Stmt::Return];
+        let mut m = Module::new();
+        let mut body: Vec<Stmt> = pre.iter().map(|p| match p {
+            BodyPiece::Compute(n) => Stmt::Compute(*n),
+            BodyPiece::Mem(n) => Stmt::MemAccess(*n),
+            BodyPiece::Emit => Stmt::Emit,
+            _ => Stmt::Compute(1),
+        }).collect();
+        body.push(Stmt::TryCatch {
+            buf: 0,
+            body: vec![Stmt::Call(if deep { "mid" } else { "thrower" }.into())],
+            handler: vec![Stmt::Emit],
+        });
+        body.push(Stmt::Return);
+        m.push(FuncDef::new("main", body));
+        m.push(FuncDef::new("mid", vec![Stmt::Call("thrower".into()), Stmt::Return]));
+        m.push(FuncDef::new("thrower", thrower));
+
+        let (exit, output, _) = run(&m, Scheme::Baseline, false);
+        for scheme in [Scheme::PacStack, Scheme::PacStackNomask, Scheme::ShadowCallStack] {
+            let (e, o, _) = run(&m, scheme, false);
+            prop_assert_eq!(e, exit, "{}", scheme);
+            prop_assert_eq!(o.clone(), output.clone(), "{}", scheme);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The five PA key registers and their management.
+//!
+//! The architecture provides two instruction keys (`IA`, `IB`), two data keys
+//! (`DA`, `DB`) and one generic key (`GA`). On Linux ≥ 5.0 the kernel owns
+//! the key registers at EL1, generates fresh keys for a process on `exec`,
+//! and user space (EL0) cannot read or write them — the property the
+//! PACStack adversary model relies on.
+
+use pacstack_qarma::Key128;
+use rand::Rng;
+use std::fmt;
+
+/// Selects one of the five architectural PA keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaKey {
+    /// Instruction key A (`APIAKey_EL1`) — used by `pacia`/`autia`; the key
+    /// PACStack signs return addresses with.
+    Ia,
+    /// Instruction key B (`APIBKey_EL1`).
+    Ib,
+    /// Data key A (`APDAKey_EL1`).
+    Da,
+    /// Data key B (`APDBKey_EL1`).
+    Db,
+    /// Generic key (`APGAKey_EL1`) — used by `pacga`.
+    Ga,
+}
+
+impl PaKey {
+    /// All five keys, in register order.
+    pub const ALL: [PaKey; 5] = [PaKey::Ia, PaKey::Ib, PaKey::Da, PaKey::Db, PaKey::Ga];
+
+    /// Whether this is one of the two instruction keys.
+    pub fn is_instruction(self) -> bool {
+        matches!(self, PaKey::Ia | PaKey::Ib)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            PaKey::Ia => 0,
+            PaKey::Ib => 1,
+            PaKey::Da => 2,
+            PaKey::Db => 3,
+            PaKey::Ga => 4,
+        }
+    }
+}
+
+impl fmt::Display for PaKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PaKey::Ia => "IA",
+            PaKey::Ib => "IB",
+            PaKey::Da => "DA",
+            PaKey::Db => "DB",
+            PaKey::Ga => "GA",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One process's set of five 128-bit PA keys.
+///
+/// # Examples
+///
+/// ```
+/// use pacstack_pauth::{PaKey, PaKeys};
+///
+/// let keys = PaKeys::from_seed(1);
+/// assert_ne!(keys.key(PaKey::Ia), keys.key(PaKey::Ib));
+/// // fork() shares keys; exec() regenerates them.
+/// let child = keys.clone();
+/// assert_eq!(child.key(PaKey::Ia), keys.key(PaKey::Ia));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PaKeys {
+    keys: [Key128; 5],
+}
+
+impl PaKeys {
+    /// Generates five fresh keys from the given randomness source, as the
+    /// kernel does on `exec`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut keys = [Key128::default(); 5];
+        for key in &mut keys {
+            *key = Key128::new(rng.gen(), rng.gen());
+        }
+        Self { keys }
+    }
+
+    /// Generates keys deterministically from a seed — convenient for tests
+    /// and reproducible experiments.
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Self::generate(&mut rng)
+    }
+
+    /// Returns the 128-bit value of one key register.
+    pub fn key(&self, key: PaKey) -> Key128 {
+        self.keys[key.index()]
+    }
+
+    /// Replaces one key register (kernel-only operation in the model).
+    pub fn set_key(&mut self, key: PaKey, value: Key128) {
+        self.keys[key.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_keys_are_distinct() {
+        let keys = PaKeys::from_seed(42);
+        for (i, a) in PaKey::ALL.iter().enumerate() {
+            for b in &PaKey::ALL[i + 1..] {
+                assert_ne!(keys.key(*a), keys.key(*b), "{a} == {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        assert_eq!(PaKeys::from_seed(7), PaKeys::from_seed(7));
+        assert_ne!(PaKeys::from_seed(7), PaKeys::from_seed(8));
+    }
+
+    #[test]
+    fn set_key_replaces_only_target() {
+        let mut keys = PaKeys::from_seed(1);
+        let old_ib = keys.key(PaKey::Ib);
+        keys.set_key(PaKey::Ia, Key128::new(1, 2));
+        assert_eq!(keys.key(PaKey::Ia), Key128::new(1, 2));
+        assert_eq!(keys.key(PaKey::Ib), old_ib);
+    }
+
+    #[test]
+    fn instruction_key_classification() {
+        assert!(PaKey::Ia.is_instruction());
+        assert!(PaKey::Ib.is_instruction());
+        assert!(!PaKey::Da.is_instruction());
+        assert!(!PaKey::Ga.is_instruction());
+    }
+}

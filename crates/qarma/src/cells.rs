@@ -1,0 +1,111 @@
+//! Cell-level operations on the QARMA-64 internal state.
+//!
+//! QARMA-64 treats its 64-bit state as a 4×4 array of 4-bit cells, numbered
+//! from the most-significant nibble (`cell[0]`) to the least-significant
+//! (`cell[15]`), row-major.
+
+/// The 4×4 state of 4-bit cells, `cells[0]` being the most-significant nibble.
+pub(crate) type Cells = [u8; 16];
+
+/// Splits a 64-bit word into 16 nibbles, most-significant first.
+pub(crate) fn to_cells(x: u64) -> Cells {
+    let mut cells = [0u8; 16];
+    for (i, cell) in cells.iter_mut().enumerate() {
+        *cell = ((x >> (4 * (15 - i))) & 0xF) as u8;
+    }
+    cells
+}
+
+/// Reassembles 16 nibbles (most-significant first) into a 64-bit word.
+pub(crate) fn from_cells(cells: &Cells) -> u64 {
+    let mut x = 0u64;
+    for (i, &cell) in cells.iter().enumerate() {
+        x |= u64::from(cell & 0xF) << (4 * (15 - i));
+    }
+    x
+}
+
+/// Applies a cell permutation: `out[i] = cells[perm[i]]`.
+pub(crate) fn permute(cells: &Cells, perm: &[usize; 16]) -> Cells {
+    let mut out = [0u8; 16];
+    for (o, &p) in out.iter_mut().zip(perm.iter()) {
+        *o = cells[p];
+    }
+    out
+}
+
+/// Rotates a 4-bit cell left by `b` bits (`b` in `1..=3`).
+fn rotl4(a: u8, b: u8) -> u8 {
+    ((a << b) & 0xF) | (a >> (4 - b))
+}
+
+/// Multiplies the state by the involutory circulant matrix
+/// `M = circ(0, ρ¹, ρ², ρ¹)` used by QARMA-64, where ρ is the left rotation
+/// of a cell by one bit. Because the matrix is involutory, the same routine
+/// serves MixColumns in both the forward and backward directions.
+pub(crate) fn mix_columns(cells: &Cells) -> Cells {
+    // Exponents of ρ in row-major order; 0 entries mean "no contribution".
+    const M: [u8; 16] = [0, 1, 2, 1, 1, 0, 1, 2, 2, 1, 0, 1, 1, 2, 1, 0];
+    let mut out = [0u8; 16];
+    for row in 0..4 {
+        for col in 0..4 {
+            let mut acc = 0u8;
+            for k in 0..4 {
+                let b = M[4 * row + k];
+                if b != 0 {
+                    acc ^= rotl4(cells[4 * k + col], b);
+                }
+            }
+            out[4 * row + col] = acc;
+        }
+    }
+    out
+}
+
+/// Applies a 4-bit S-box to every cell.
+pub(crate) fn sub_cells(cells: &Cells, sbox: &[u8; 16]) -> Cells {
+    let mut out = [0u8; 16];
+    for (o, &c) in out.iter_mut().zip(cells.iter()) {
+        *o = sbox[c as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_round_trip() {
+        let x = 0x0123_4567_89ab_cdef;
+        assert_eq!(from_cells(&to_cells(x)), x);
+    }
+
+    #[test]
+    fn cell_zero_is_most_significant_nibble() {
+        let cells = to_cells(0xf000_0000_0000_0001);
+        assert_eq!(cells[0], 0xF);
+        assert_eq!(cells[15], 0x1);
+    }
+
+    #[test]
+    fn rotl4_rotates_within_nibble() {
+        assert_eq!(rotl4(0b1000, 1), 0b0001);
+        assert_eq!(rotl4(0b0011, 2), 0b1100);
+        assert_eq!(rotl4(0b1001, 3), 0b1100);
+    }
+
+    #[test]
+    fn mix_columns_is_involutory() {
+        let cells = to_cells(0xfb62_3599_da6e_8127);
+        assert_eq!(mix_columns(&mix_columns(&cells)), cells);
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity() {
+        const TAU: [usize; 16] = [0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2];
+        const TAU_INV: [usize; 16] = [0, 5, 15, 10, 13, 8, 2, 7, 11, 14, 4, 1, 6, 3, 9, 12];
+        let cells = to_cells(0x0123_4567_89ab_cdef);
+        assert_eq!(permute(&permute(&cells, &TAU), &TAU_INV), cells);
+    }
+}

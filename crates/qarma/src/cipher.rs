@@ -1,0 +1,324 @@
+//! The QARMA-64 cipher proper: whitened forward rounds, a central reflector,
+//! and backward rounds, all parameterised by S-box choice and round count.
+
+use crate::cells::{from_cells, mix_columns, permute, sub_cells, to_cells, Cells};
+use crate::constants::{ALPHA, ROUND_CONSTANTS, SIGMA0, SIGMA1, SIGMA2, SIGMA2_INV, TAU, TAU_INV};
+use crate::tweak::{backward_update, forward_update};
+use crate::Key128;
+use std::fmt;
+
+/// Which of QARMA's three published 4-bit S-boxes to use.
+///
+/// σ1 is the variant referenced for ARM pointer authentication; σ0 and σ2 are
+/// the lighter and heavier alternatives from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sigma {
+    /// σ0 — smallest circuit depth (an involution).
+    Sigma0,
+    /// σ1 — the recommended trade-off and ARM's reference choice (an involution).
+    #[default]
+    Sigma1,
+    /// σ2 — highest nonlinearity (requires a distinct inverse table).
+    Sigma2,
+}
+
+impl Sigma {
+    fn table(self) -> &'static [u8; 16] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0,
+            Sigma::Sigma1 => &SIGMA1,
+            Sigma::Sigma2 => &SIGMA2,
+        }
+    }
+
+    fn inverse_table(self) -> &'static [u8; 16] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0,
+            Sigma::Sigma1 => &SIGMA1,
+            Sigma::Sigma2 => &SIGMA2_INV,
+        }
+    }
+}
+
+impl fmt::Display for Sigma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sigma::Sigma0 => write!(f, "σ0"),
+            Sigma::Sigma1 => write!(f, "σ1"),
+            Sigma::Sigma2 => write!(f, "σ2"),
+        }
+    }
+}
+
+/// A QARMA-64 instance: a 128-bit key, an S-box choice and `r` forward rounds.
+///
+/// The paper's recommended parameterisations are `r = 5` with σ0, `r = 7`
+/// with σ1, and `r = 11` with σ2. [`Qarma64::recommended`] builds the σ1/r=7
+/// instance used as ARM's PAC reference.
+///
+/// # Examples
+///
+/// ```
+/// use pacstack_qarma::{Key128, Qarma64, Sigma};
+///
+/// let cipher = Qarma64::with_key(Key128::new(0x1234, 0x5678), Sigma::Sigma1, 7);
+/// let c = cipher.encrypt(0xdead_beef, 42);
+/// assert_eq!(cipher.decrypt(c, 42), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Qarma64 {
+    key: Key128,
+    sigma: Sigma,
+    rounds: usize,
+}
+
+impl Qarma64 {
+    /// Creates a cipher from the two key halves, an S-box and a round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is 0 or greater than 8 (the number of published
+    /// round constants).
+    pub fn new(w0: u64, k0: u64, sigma: Sigma, rounds: usize) -> Self {
+        Self::with_key(Key128::new(w0, k0), sigma, rounds)
+    }
+
+    /// Creates a cipher from a [`Key128`], an S-box and a round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is 0 or greater than 8.
+    pub fn with_key(key: Key128, sigma: Sigma, rounds: usize) -> Self {
+        assert!(
+            (1..=ROUND_CONSTANTS.len()).contains(&rounds),
+            "QARMA-64 supports 1..=8 forward rounds, got {rounds}"
+        );
+        Self { key, sigma, rounds }
+    }
+
+    /// The σ1, r = 7 instance — QARMA7-64-σ1, ARM's PAC reference.
+    pub fn recommended(key: Key128) -> Self {
+        Self::with_key(key, Sigma::Sigma1, 7)
+    }
+
+    /// Returns the key this instance was built with.
+    pub fn key(&self) -> Key128 {
+        self.key
+    }
+
+    /// Returns the S-box variant in use.
+    pub fn sigma(&self) -> Sigma {
+        self.sigma
+    }
+
+    /// Returns the number of forward rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Derived whitening key `w1 = (w0 ⋙ 1) ⊕ (w0 ≫ 63)`.
+    fn w1(&self) -> u64 {
+        let w0 = self.key.w0();
+        w0.rotate_right(1) ^ (w0 >> 63)
+    }
+
+    /// The decryption reflector key `Q · k0`.
+    fn k1(&self) -> u64 {
+        from_cells(&mix_columns(&to_cells(self.key.k0())))
+    }
+
+    /// One forward round: add tweakey, then (unless `short`) ShuffleCells and
+    /// MixColumns, then SubCells.
+    fn forward(&self, state: u64, tweakey: u64, short: bool) -> u64 {
+        let mut cells = to_cells(state ^ tweakey);
+        if !short {
+            cells = mix_columns(&permute(&cells, &TAU));
+        }
+        from_cells(&sub_cells(&cells, self.sigma.table()))
+    }
+
+    /// One backward round: inverse SubCells, then (unless `short`) inverse
+    /// MixColumns and inverse ShuffleCells, then add tweakey.
+    fn backward(&self, state: u64, tweakey: u64, short: bool) -> u64 {
+        let mut cells = sub_cells(&to_cells(state), self.sigma.inverse_table());
+        if !short {
+            cells = permute(&mix_columns(&cells), &TAU_INV);
+        }
+        from_cells(&cells) ^ tweakey
+    }
+
+    /// The central pseudo-reflector: τ, multiply by the involutory Q = M,
+    /// add the reflector key, τ⁻¹.
+    fn reflect(&self, state: u64, k1: u64) -> u64 {
+        let shuffled = permute(&to_cells(state), &TAU);
+        let mut mixed: Cells = mix_columns(&shuffled);
+        let key_cells = to_cells(k1);
+        for (m, k) in mixed.iter_mut().zip(key_cells.iter()) {
+            *m ^= k;
+        }
+        from_cells(&permute(&mixed, &TAU_INV))
+    }
+
+    /// The shared data path: whitened forward rounds, central reflector,
+    /// backward rounds. Encryption and decryption differ only in the key
+    /// schedule fed in here.
+    fn crypt(&self, block: u64, tweak: u64, w0: u64, w1: u64, k0: u64, k1: u64) -> u64 {
+        let mut state = block ^ w0;
+        let mut t = tweak;
+        for (i, constant) in ROUND_CONSTANTS.iter().enumerate().take(self.rounds) {
+            state = self.forward(state, k0 ^ t ^ constant, i == 0);
+            t = forward_update(t);
+        }
+
+        state = self.forward(state, w1 ^ t, false);
+        state = self.reflect(state, k1);
+        state = self.backward(state, w0 ^ t, false);
+
+        for i in (0..self.rounds).rev() {
+            t = backward_update(t);
+            state = self.backward(state, k0 ^ t ^ ROUND_CONSTANTS[i] ^ ALPHA, i == 0);
+        }
+
+        state ^ w1
+    }
+
+    /// Encrypts one 64-bit block under the given 64-bit tweak.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pacstack_qarma::{Qarma64, Sigma};
+    ///
+    /// let cipher = Qarma64::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9, Sigma::Sigma0, 5);
+    /// assert_eq!(cipher.encrypt(0xfb623599da6e8127, 0x477d469dec0b8762), 0x3ee99a6c82af0c38);
+    /// ```
+    pub fn encrypt(&self, plaintext: u64, tweak: u64) -> u64 {
+        self.crypt(
+            plaintext,
+            tweak,
+            self.key.w0(),
+            self.w1(),
+            self.key.k0(),
+            self.key.k0(),
+        )
+    }
+
+    /// Decrypts one 64-bit block under the given 64-bit tweak.
+    ///
+    /// QARMA's reflector structure makes decryption the same circuit as
+    /// encryption under a transformed key schedule: the whitening keys swap
+    /// roles, α is folded into the core key, and the reflector key is reused.
+    pub fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64 {
+        // The inverse of the central reflector keyed with k1 = k0 is the
+        // reflector keyed with Q·k0 (Q = M is involutory).
+        self.crypt(
+            ciphertext,
+            tweak,
+            self.w1(),
+            self.key.w0(),
+            self.key.k0() ^ ALPHA,
+            self.k1(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W0: u64 = 0x84be85ce9804e94b;
+    const K0: u64 = 0xec2802d4e0a488e9;
+    const TWEAK: u64 = 0x477d469dec0b8762;
+    const PLAINTEXT: u64 = 0xfb623599da6e8127;
+
+    #[test]
+    fn paper_test_vector_sigma0_r5() {
+        let cipher = Qarma64::new(W0, K0, Sigma::Sigma0, 5);
+        assert_eq!(cipher.encrypt(PLAINTEXT, TWEAK), 0x3ee99a6c82af0c38);
+    }
+
+    #[test]
+    fn regression_vector_sigma1_r7() {
+        // Computed by this implementation, cross-validated through the
+        // published σ0/r=5 vector (which pins the whole data path) and the
+        // encrypt/decrypt inverse property. Guards against regressions.
+        let cipher = Qarma64::new(W0, K0, Sigma::Sigma1, 7);
+        assert_eq!(cipher.encrypt(PLAINTEXT, TWEAK), 0xedf67ff370a483f2);
+    }
+
+    #[test]
+    fn regression_vector_sigma2_r7() {
+        // Computed by this implementation (see regression_vector_sigma1_r7
+        // for the validation argument).
+        let cipher = Qarma64::new(W0, K0, Sigma::Sigma2, 7);
+        let c = cipher.encrypt(PLAINTEXT, TWEAK);
+        assert_eq!(c, 0x5c06a7501b63b2fd);
+        assert_eq!(cipher.decrypt(c, TWEAK), PLAINTEXT);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_on_vectors() {
+        for sigma in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            for rounds in 1..=8 {
+                let cipher = Qarma64::new(W0, K0, sigma, rounds);
+                let c = cipher.encrypt(PLAINTEXT, TWEAK);
+                assert_eq!(
+                    cipher.decrypt(c, TWEAK),
+                    PLAINTEXT,
+                    "round-trip failed for {sigma} r={rounds}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_tweaks_give_different_ciphertexts() {
+        let cipher = Qarma64::recommended(Key128::new(W0, K0));
+        assert_ne!(cipher.encrypt(PLAINTEXT, 0), cipher.encrypt(PLAINTEXT, 1));
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Qarma64::recommended(Key128::new(W0, K0));
+        let b = Qarma64::recommended(Key128::new(W0 ^ 1, K0));
+        assert_ne!(a.encrypt(PLAINTEXT, TWEAK), b.encrypt(PLAINTEXT, TWEAK));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 forward rounds")]
+    fn zero_rounds_panics() {
+        let _ = Qarma64::new(W0, K0, Sigma::Sigma1, 0);
+    }
+
+    #[test]
+    fn recommended_is_sigma1_r7() {
+        let cipher = Qarma64::recommended(Key128::new(W0, K0));
+        assert_eq!(cipher.sigma(), Sigma::Sigma1);
+        assert_eq!(cipher.rounds(), 7);
+        assert_eq!(cipher.encrypt(PLAINTEXT, TWEAK), 0xedf67ff370a483f2);
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_are_inverses() {
+        let cipher = Qarma64::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9, Sigma::Sigma1, 7);
+        let x = 0xfb623599da6e8127u64;
+        let tk = 0x1234_5678_9abc_def0u64;
+        for short in [true, false] {
+            let y = cipher.forward(x, tk, short);
+            assert_eq!(cipher.backward(y, tk, short), x, "short={short}");
+        }
+    }
+
+    #[test]
+    fn reflect_is_involution_with_zero_key() {
+        let cipher = Qarma64::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9, Sigma::Sigma1, 7);
+        let x = 0xfb623599da6e8127u64;
+        let y = cipher.reflect(x, 0);
+        assert_eq!(cipher.reflect(y, 0), x);
+    }
+}

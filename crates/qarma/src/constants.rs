@@ -1,0 +1,93 @@
+//! Round constants and fixed permutations for QARMA-64, as published in
+//! "The QARMA Block Cipher Family" (Avanzi, 2017).
+
+/// The constant α added to the core key in the backward rounds.
+pub(crate) const ALPHA: u64 = 0xC0AC_29B7_C97C_50DD;
+
+/// Round constants `c[0..8]` (digits of π), enough for up to 8 forward rounds.
+pub(crate) const ROUND_CONSTANTS: [u64; 8] = [
+    0x0000_0000_0000_0000,
+    0x1319_8A2E_0370_7344,
+    0xA409_3822_299F_31D0,
+    0x082E_FA98_EC4E_6C89,
+    0x4528_21E6_38D0_1377,
+    0xBE54_66CF_34E9_0C6C,
+    0x3F84_D5B5_B547_0917,
+    0x9216_D5D9_8979_FB1B,
+];
+
+/// The MIDORI cell shuffle τ used by QARMA's ShuffleCells step.
+pub(crate) const TAU: [usize; 16] = [0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2];
+
+/// Inverse of [`TAU`].
+pub(crate) const TAU_INV: [usize; 16] = [0, 5, 15, 10, 13, 8, 2, 7, 11, 14, 4, 1, 6, 3, 9, 12];
+
+/// The tweak-cell permutation h applied when updating the tweak each round.
+pub(crate) const H: [usize; 16] = [6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11];
+
+/// Inverse of [`H`].
+pub(crate) const H_INV: [usize; 16] = [4, 5, 6, 7, 11, 1, 0, 8, 12, 13, 14, 15, 9, 10, 2, 3];
+
+/// Tweak cells that pass through the ω LFSR on every tweak update.
+pub(crate) const LFSR_CELLS: [usize; 7] = [0, 1, 3, 4, 8, 11, 13];
+
+/// The σ0 S-box (an involution).
+pub(crate) const SIGMA0: [u8; 16] = [0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5];
+
+/// The σ1 S-box (an involution); the variant ARM's PAC reference uses.
+pub(crate) const SIGMA1: [u8; 16] = [10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4];
+
+/// The σ2 S-box (not an involution — see [`SIGMA2_INV`]).
+pub(crate) const SIGMA2: [u8; 16] = [11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10];
+
+/// Inverse of [`SIGMA2`].
+pub(crate) const SIGMA2_INV: [u8; 16] = [5, 14, 13, 8, 10, 11, 1, 9, 2, 6, 15, 0, 4, 12, 7, 3];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(p: &[u8; 16]) -> bool {
+        let mut seen = [false; 16];
+        for &v in p {
+            if seen[v as usize] {
+                return false;
+            }
+            seen[v as usize] = true;
+        }
+        true
+    }
+
+    fn inverse_of(p: &[usize; 16], q: &[usize; 16]) -> bool {
+        (0..16).all(|i| q[p[i]] == i)
+    }
+
+    #[test]
+    fn sboxes_are_permutations() {
+        assert!(is_permutation(&SIGMA0));
+        assert!(is_permutation(&SIGMA1));
+        assert!(is_permutation(&SIGMA2));
+        assert!(is_permutation(&SIGMA2_INV));
+    }
+
+    #[test]
+    fn sigma0_and_sigma1_are_involutions() {
+        for x in 0..16u8 {
+            assert_eq!(SIGMA0[SIGMA0[x as usize] as usize], x);
+            assert_eq!(SIGMA1[SIGMA1[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn sigma2_inverse_is_correct() {
+        for x in 0..16u8 {
+            assert_eq!(SIGMA2_INV[SIGMA2[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn permutation_inverses_are_correct() {
+        assert!(inverse_of(&TAU, &TAU_INV));
+        assert!(inverse_of(&H, &H_INV));
+    }
+}

@@ -1,0 +1,89 @@
+//! The QARMA tweak schedule: the tweak is permuted by h and a subset of its
+//! cells passes through a 4-bit LFSR ω after every forward round.
+
+use crate::cells::{from_cells, permute, to_cells};
+use crate::constants::{H, H_INV, LFSR_CELLS};
+
+/// The ω LFSR: (b3, b2, b1, b0) → (b0 ⊕ b1, b3, b2, b1).
+fn lfsr(x: u8) -> u8 {
+    let b0 = x & 1;
+    let b1 = (x >> 1) & 1;
+    let b2 = (x >> 2) & 1;
+    let b3 = (x >> 3) & 1;
+    ((b0 ^ b1) << 3) | (b3 << 2) | (b2 << 1) | b1
+}
+
+/// Inverse of [`lfsr`].
+fn lfsr_inv(x: u8) -> u8 {
+    let y0 = x & 1;
+    let y1 = (x >> 1) & 1;
+    let y2 = (x >> 2) & 1;
+    let y3 = (x >> 3) & 1;
+    // Forward produced (y3, y2, y1, y0) = (b0 ^ b1, b3, b2, b1).
+    let b1 = y0;
+    let b2 = y1;
+    let b3 = y2;
+    let b0 = y3 ^ y0;
+    (b3 << 3) | (b2 << 2) | (b1 << 1) | b0
+}
+
+/// Advances the tweak by one round: permute cells by h, then clock the ω LFSR
+/// on cells {0, 1, 3, 4, 8, 11, 13}.
+pub(crate) fn forward_update(tweak: u64) -> u64 {
+    let mut cells = permute(&to_cells(tweak), &H);
+    for &i in &LFSR_CELLS {
+        cells[i] = lfsr(cells[i]);
+    }
+    from_cells(&cells)
+}
+
+/// Rewinds the tweak by one round (inverse of [`forward_update`]).
+pub(crate) fn backward_update(tweak: u64) -> u64 {
+    let mut cells = to_cells(tweak);
+    for &i in &LFSR_CELLS {
+        cells[i] = lfsr_inv(cells[i]);
+    }
+    from_cells(&permute(&cells, &H_INV))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_is_invertible() {
+        for x in 0..16u8 {
+            assert_eq!(lfsr_inv(lfsr(x)), x);
+            assert_eq!(lfsr(lfsr_inv(x)), x);
+        }
+    }
+
+    #[test]
+    fn lfsr_has_full_period_on_nonzero_states() {
+        // ω is a maximum-period LFSR on the 15 non-zero states.
+        let mut x = 1u8;
+        let mut period = 0;
+        loop {
+            x = lfsr(x);
+            period += 1;
+            if x == 1 {
+                break;
+            }
+        }
+        assert_eq!(period, 15);
+        assert_eq!(lfsr(0), 0);
+    }
+
+    #[test]
+    fn tweak_update_round_trips() {
+        let t = 0x477d_469d_ec0b_8762;
+        assert_eq!(backward_update(forward_update(t)), t);
+        assert_eq!(forward_update(backward_update(t)), t);
+    }
+
+    #[test]
+    fn tweak_update_changes_value() {
+        let t = 0x477d_469d_ec0b_8762;
+        assert_ne!(forward_update(t), t);
+    }
+}

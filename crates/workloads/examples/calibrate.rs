@@ -1,0 +1,35 @@
+//! Prints per-benchmark overheads for calibration.
+use pacstack_compiler::Scheme;
+use pacstack_workloads::measure::overhead_percent;
+use pacstack_workloads::nginx::server_module;
+use pacstack_workloads::spec::{Suite, CPP_BENCHMARKS, C_BENCHMARKS};
+
+fn main() {
+    let budget = 1_000_000_000;
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "canary", "pacret", "scs", "nomask", "full"
+    );
+    for p in C_BENCHMARKS.iter().chain(CPP_BENCHMARKS.iter()) {
+        let m = p.module(Suite::Rate);
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            p.name,
+            overhead_percent(&m, Scheme::StackProtector, budget),
+            overhead_percent(&m, Scheme::PacRet, budget),
+            overhead_percent(&m, Scheme::ShadowCallStack, budget),
+            overhead_percent(&m, Scheme::PacStackNomask, budget),
+            overhead_percent(&m, Scheme::PacStack, budget),
+        );
+    }
+    let m = server_module(40);
+    println!(
+        "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "nginx",
+        overhead_percent(&m, Scheme::StackProtector, budget),
+        overhead_percent(&m, Scheme::PacRet, budget),
+        overhead_percent(&m, Scheme::ShadowCallStack, budget),
+        overhead_percent(&m, Scheme::PacStackNomask, budget),
+        overhead_percent(&m, Scheme::PacStack, budget),
+    );
+}

@@ -1,0 +1,115 @@
+//! Measurement helpers: run a module under each scheme, report overheads.
+
+use pacstack_aarch64::{Cpu, Fault, RunStatus};
+use pacstack_compiler::{lower, Module, Scheme};
+
+/// Result of running one module under one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// The program's exit code (schemes must agree on it).
+    pub exit_code: u64,
+}
+
+/// Runs `module` to completion under `scheme` and measures it.
+///
+/// # Panics
+///
+/// Panics if the program faults or exceeds `budget` instructions — workload
+/// programs are supposed to run clean under every scheme.
+pub fn run_module(module: &Module, scheme: Scheme, budget: u64) -> Measurement {
+    let program = lower(module, scheme);
+    let mut cpu = Cpu::with_seed(program, 0xACE5);
+    match cpu.run(budget) {
+        Ok(out) => match out.status {
+            RunStatus::Exited(code) => Measurement {
+                cycles: out.cycles,
+                instructions: out.instructions,
+                exit_code: code,
+            },
+            RunStatus::Syscall(n) => panic!("workload raised unexpected syscall {n}"),
+        },
+        Err(Fault::Timeout) => panic!("workload exceeded {budget} instructions"),
+        Err(fault) => panic!("workload faulted under {scheme}: {fault}"),
+    }
+}
+
+/// Percentage overhead of `scheme` over the baseline for `module`.
+///
+/// # Panics
+///
+/// Panics if the two runs disagree on the exit code (an instrumentation
+/// correctness bug) or if either run faults.
+pub fn overhead_percent(module: &Module, scheme: Scheme, budget: u64) -> f64 {
+    let base = run_module(module, Scheme::Baseline, budget);
+    let inst = run_module(module, scheme, budget);
+    assert_eq!(
+        base.exit_code, inst.exit_code,
+        "{scheme} changed program behaviour"
+    );
+    (inst.cycles as f64 - base.cycles as f64) / base.cycles as f64 * 100.0
+}
+
+/// Geometric mean of a slice of percentage overheads, computed over the
+/// run-time *ratios* (as SPEC does), returned as a percentage.
+///
+/// # Examples
+///
+/// ```
+/// use pacstack_workloads::measure::geometric_mean_percent;
+///
+/// let g = geometric_mean_percent(&[1.0, 4.0]);
+/// assert!((g - 2.488).abs() < 0.01); // sqrt(1.01 * 1.04) = 1.02488
+/// ```
+pub fn geometric_mean_percent(overheads: &[f64]) -> f64 {
+    if overheads.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = overheads.iter().map(|p| (1.0 + p / 100.0).ln()).sum();
+    ((log_sum / overheads.len() as f64).exp() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacstack_compiler::{FuncDef, Stmt};
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new();
+        m.push(FuncDef::new(
+            "main",
+            vec![Stmt::Loop(10, vec![Stmt::Call("f".into())]), Stmt::Return],
+        ));
+        m.push(FuncDef::new("f", vec![Stmt::Compute(5), Stmt::Return]));
+        m
+    }
+
+    #[test]
+    fn overhead_is_positive_for_instrumented_schemes() {
+        let m = tiny_module();
+        assert!(overhead_percent(&m, Scheme::PacStack, 1_000_000) > 0.0);
+        assert_eq!(overhead_percent(&m, Scheme::Baseline, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_equal_values_is_that_value() {
+        let g = geometric_mean_percent(&[3.0, 3.0, 3.0]);
+        assert!((g - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_of_empty_is_zero() {
+        assert_eq!(geometric_mean_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        let m = tiny_module();
+        let a = run_module(&m, Scheme::PacStack, 1_000_000);
+        let b = run_module(&m, Scheme::PacStack, 1_000_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,228 @@
+//! The NGINX SSL-TPS server model (paper §7.2, Table 3).
+//!
+//! The paper's test drives NGINX with one HTTPS request per connection and
+//! a 0-byte response, making the server CPU-bound on connection setup: the
+//! TLS handshake's public-key arithmetic, which in OpenSSL is a storm of
+//! small bignum-helper calls — precisely the call-heavy profile that
+//! maximises return-address-protection overhead (the paper measures 6–13%
+//! for full PACStack there, versus ≈3% on SPEC).
+//!
+//! The model runs an accept → handshake → respond → close loop per
+//! transaction; the handshake spins on instrumented bignum helpers. TPS is
+//! simulated cycles converted through a nominal clock and scaled linearly
+//! across workers. Run-to-run jitter (the paper reports σ over `wrk`
+//! sessions) comes from perturbing the handshake round count per run.
+
+use crate::measure::run_module;
+use pacstack_compiler::{FuncDef, Module, Scheme, Stmt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nominal CPU clock used to convert cycles to wall-clock TPS.
+pub const CLOCK_HZ: f64 = 2.0e9;
+
+/// Transactions simulated per measurement run (per worker).
+pub const TRANSACTIONS: u32 = 40;
+
+/// Builds the per-worker server module.
+///
+/// `handshake_rounds` controls how many bignum operations one TLS
+/// handshake performs (the RSA-2048 / ECDHE profile of the paper's cipher
+/// suite is call-heavy).
+pub fn server_module(handshake_rounds: u32) -> Module {
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::Loop(
+                TRANSACTIONS,
+                vec![
+                    Stmt::Call("accept_conn".into()),
+                    Stmt::Call("tls_handshake".into()),
+                    Stmt::Call("respond".into()),
+                    Stmt::Call("close_conn".into()),
+                ],
+            ),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "accept_conn",
+        vec![
+            Stmt::Compute(150),
+            Stmt::MemAccess(35),
+            Stmt::Call("alloc_buf".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "tls_handshake",
+        vec![
+            Stmt::Loop(
+                handshake_rounds,
+                vec![
+                    Stmt::Call("bn_mul".into()),
+                    Stmt::Call("bn_sqr".into()),
+                    Stmt::Call("bn_mod".into()),
+                ],
+            ),
+            Stmt::Call("kdf".into()),
+            Stmt::Return,
+        ],
+    ));
+    // Bignum helpers: small bodies, each calling a limb-level leaf — the
+    // OpenSSL shape that makes handshakes call-bound.
+    m.push(FuncDef::new(
+        "bn_mul",
+        vec![
+            Stmt::Compute(95),
+            Stmt::MemAccess(22),
+            Stmt::Call("limb_op".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "bn_sqr",
+        vec![
+            Stmt::Compute(75),
+            Stmt::MemAccess(18),
+            Stmt::Call("limb_op".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "bn_mod",
+        vec![
+            Stmt::Compute(110),
+            Stmt::MemAccess(26),
+            Stmt::Call("limb_op".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "kdf",
+        vec![
+            Stmt::Compute(300),
+            Stmt::Call("digest_block".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "respond",
+        vec![
+            Stmt::Compute(190),
+            Stmt::MemAccess(45),
+            Stmt::Call("writev_stub".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "close_conn",
+        vec![Stmt::Compute(55), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "alloc_buf",
+        vec![Stmt::Compute(75), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "limb_op",
+        vec![Stmt::Compute(52), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "digest_block",
+        vec![Stmt::Compute(220), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "writev_stub",
+        vec![Stmt::Compute(95), Stmt::Return],
+    ));
+    m
+}
+
+/// Result of an SSL-TPS measurement campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpsResult {
+    /// Mean transactions per second across runs.
+    pub mean_tps: f64,
+    /// Standard deviation across runs.
+    pub sigma: f64,
+    /// Number of measurement runs.
+    pub runs: usize,
+}
+
+/// Measures SSL TPS for `scheme` with `workers` NGINX workers.
+///
+/// Each of `runs` measurement sessions perturbs the handshake round count
+/// ±10% (run-to-run load jitter) and measures cycles per transaction; TPS
+/// scales linearly with workers at the nominal clock.
+///
+/// # Panics
+///
+/// Panics if a run faults (the workload must run clean under every scheme).
+pub fn ssl_tps(scheme: Scheme, workers: u32, runs: usize, seed: u64) -> TpsResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let rounds = 36 + rng.gen_range(0..=8); // 40 ± 10%
+        let module = server_module(rounds);
+        let m = run_module(&module, scheme, 1_000_000_000);
+        let cycles_per_txn = m.cycles as f64 / f64::from(TRANSACTIONS);
+        samples.push(f64::from(workers) * CLOCK_HZ / cycles_per_txn);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    TpsResult {
+        mean_tps: mean,
+        sigma: var.sqrt(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::overhead_percent;
+
+    #[test]
+    fn handshake_dominates_and_is_call_heavy() {
+        // Full PACStack overhead on the server should exceed its overhead
+        // on a compute-bound SPEC profile — the paper's NGINX result.
+        let module = server_module(40);
+        let o = overhead_percent(&module, Scheme::PacStack, 1_000_000_000);
+        assert!(o > 4.0, "server overhead only {o}%");
+        assert!(o < 20.0, "server overhead implausibly high: {o}%");
+    }
+
+    #[test]
+    fn nomask_costs_less_than_full() {
+        let module = server_module(40);
+        let nomask = overhead_percent(&module, Scheme::PacStackNomask, 1_000_000_000);
+        let full = overhead_percent(&module, Scheme::PacStack, 1_000_000_000);
+        assert!(nomask < full);
+        assert!(nomask > 2.0, "nomask overhead only {nomask}%");
+    }
+
+    #[test]
+    fn tps_scales_linearly_with_workers() {
+        let four = ssl_tps(Scheme::Baseline, 4, 3, 1);
+        let eight = ssl_tps(Scheme::Baseline, 8, 3, 1);
+        let ratio = eight.mean_tps / four.mean_tps;
+        assert!((1.9..2.1).contains(&ratio), "worker scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn instrumented_tps_is_lower_than_baseline() {
+        let base = ssl_tps(Scheme::Baseline, 4, 3, 7);
+        let nomask = ssl_tps(Scheme::PacStackNomask, 4, 3, 7);
+        let full = ssl_tps(Scheme::PacStack, 4, 3, 7);
+        assert!(base.mean_tps > nomask.mean_tps);
+        assert!(nomask.mean_tps > full.mean_tps);
+    }
+
+    #[test]
+    fn sigma_reflects_run_jitter() {
+        let result = ssl_tps(Scheme::Baseline, 4, 8, 3);
+        assert!(result.sigma > 0.0);
+        assert!(result.sigma < result.mean_tps * 0.1, "σ implausibly large");
+    }
+}

@@ -1,0 +1,30 @@
+; A hand-written PACStack-instrumented function (paper Listing 3 shape),
+; runnable with: cargo run --bin pacstack-run -- examples/demo.s --trace
+main:
+    ; prologue: extend the chain
+    str x28, [sp, #-32]!        ; spill aret_{i-1}
+    stp fp, lr, [sp, #16]       ; plain frame record
+    mov x15, xzr
+    pacia lr, x28               ; aret_i (unmasked)
+    pacia x15, x28              ; mask_i
+    eor lr, lr, x15
+    mov x15, xzr
+    mov x28, lr                 ; CR <- aret_i
+
+    mov x0, #6
+    bl square
+    svc #1                      ; emit 36
+
+    ; epilogue: verify and return
+    mov lr, x28
+    ldr fp, [sp, #16]
+    ldr x28, [sp], #32
+    mov x15, xzr
+    pacia x15, x28
+    eor lr, lr, x15
+    mov x15, xzr
+    autia lr, x28
+    ret
+square:
+    mul x0, x0, x0
+    ret

@@ -1,0 +1,53 @@
+//! Irregular stack unwinding with ACS-bound `setjmp`/`longjmp`
+//! (paper §4.4, §5.3, Listings 4–5) — including the validating unwinder
+//! proposed in §9.1 that rejects expired buffers.
+//!
+//! ```text
+//! cargo run --example irregular_unwinding
+//! ```
+
+use pacstack::acs::{AcsConfig, AuthenticatedCallStack};
+use pacstack::pauth::{PaKeys, PointerAuth, VaLayout};
+
+fn main() {
+    let pa = PointerAuth::new(VaLayout::default());
+    let mut acs = AuthenticatedCallStack::new(pa, PaKeys::from_seed(2024), AcsConfig::default());
+
+    // main → run_with_recovery ... setjmp here ... → parse → eval (throws)
+    acs.call(0x40_1000);
+    let env = acs.setjmp(0x40_1100, 0x7fff_e000);
+    println!(
+        "setjmp at depth {} → buffer binds ret, SP and aret_i:",
+        acs.depth()
+    );
+    println!("  bound_ret = {:#018x}", env.bound_ret);
+    println!("  chain     = {:#018x}", env.chain);
+
+    acs.call(0x40_2000); // parse
+    acs.call(0x40_3000); // eval
+    println!(
+        "\n\"exception\" at depth {} — longjmp back to the handler",
+        acs.depth()
+    );
+    let target = acs.longjmp(&env).expect("genuine buffer verifies");
+    println!("  resumed at {target:#x}, depth {}", acs.depth());
+
+    // A forged buffer is caught.
+    let mut forged = acs.setjmp(0x40_1100, 0x7fff_e000);
+    forged.bound_ret ^= 0x200; // point it somewhere else
+    match acs.longjmp(&forged) {
+        Ok(_) => println!("\nforged buffer slipped through (2^-16 chance)"),
+        Err(violation) => println!("\nforged buffer rejected: {violation}"),
+    }
+
+    // The §9.1 validating unwinder also rejects *expired* buffers, which
+    // plain longjmp (like plain C) cannot.
+    acs.call(0x40_2000);
+    let expired = acs.setjmp(0x40_1100, 0x7fff_d000);
+    acs.ret()
+        .expect("the setjmp frame returns — buffer now expired");
+    match acs.longjmp_validating(&expired) {
+        Ok(_) => println!("expired buffer accepted?!"),
+        Err(violation) => println!("expired buffer rejected by validating unwinder: {violation}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! # PACStack: an Authenticated Call Stack — Rust reproduction
+//!
+//! A full reimplementation and evaluation harness for *"PACStack: an
+//! Authenticated Call Stack"* (Liljestrand, Nyman, Gunn, Ekberg, Asokan —
+//! USENIX Security 2021; first presented as *"Authenticated Call Stack"*
+//! at DAC 2019).
+//!
+//! PACStack protects function return addresses with a *chain* of message
+//! authentication codes computed by ARMv8.3-A pointer authentication (PA):
+//! each authenticated return address `aret_i = H_K(ret_i, aret_{i-1}) ∥
+//! ret_i` binds the whole call path, the newest link lives in a reserved
+//! register, and every stored token is masked so an adversary who can read
+//! all of memory still cannot find exploitable MAC collisions.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`acs`] | `pacstack-acs` | The core authenticated-call-stack state machine, `setjmp`/`longjmp` binding, re-seeding, analytic security bounds |
+//! | [`pauth`] | `pacstack-pauth` | The ARM PA model: PAC geometry, keys, `pac*`/`aut*`/`pacga` semantics, FPAC |
+//! | [`qarma`] | `pacstack-qarma` | QARMA-64, the PAC reference cipher |
+//! | [`aarch64`] | `pacstack-aarch64` | AArch64-subset simulator: CPU, W⊕X memory, kernel model, cycle costs |
+//! | [`compiler`] | `pacstack-compiler` | Call-graph IR and frame lowering for six return-address protection schemes |
+//! | [`attacks`] | `pacstack-attacks` | The paper's adversary: ROP, reuse, collision harvesting, guessing, signing gadget |
+//! | [`workloads`] | `pacstack-workloads` | SPEC-profile benchmarks and the NGINX SSL-TPS model |
+//!
+//! # Quick start
+//!
+//! Protect a call stack and catch an attack:
+//!
+//! ```
+//! use pacstack::acs::{AcsConfig, AuthenticatedCallStack};
+//! use pacstack::pauth::{PaKeys, PointerAuth, VaLayout};
+//!
+//! let pa = PointerAuth::new(VaLayout::default());
+//! let mut acs = AuthenticatedCallStack::new(pa, PaKeys::from_seed(1), AcsConfig::default());
+//!
+//! acs.call(0x40_1000);
+//! acs.call(0x40_2000);
+//! acs.frames_mut()[1].stored_chain ^= 0x4; // adversary rewrites the stack
+//! assert!(acs.ret().is_err()); // ...and is caught on return
+//! ```
+//!
+//! Compile a program with PACStack instrumentation and run it on the
+//! simulated CPU:
+//!
+//! ```
+//! use pacstack::compiler::{lower, FuncDef, Module, Scheme, Stmt};
+//! use pacstack::aarch64::Cpu;
+//!
+//! let mut module = Module::new();
+//! module.push(FuncDef::new("main", vec![Stmt::Call("work".into()), Stmt::Return]));
+//! module.push(FuncDef::new("work", vec![Stmt::Compute(10), Stmt::Return]));
+//!
+//! let mut cpu = Cpu::with_seed(lower(&module, Scheme::PacStack), 0);
+//! let outcome = cpu.run(100_000)?;
+//! assert!(outcome.cycles > 0);
+//! # Ok::<(), pacstack::aarch64::Fault>(())
+//! ```
+//!
+//! # Reproducing the paper's evaluation
+//!
+//! ```text
+//! cargo run --release -p pacstack-bench --bin repro -- all
+//! ```
+//!
+//! regenerates Table 1 (attack success probabilities), Figure 5 and
+//! Table 2 (SPEC overheads), Table 3 (NGINX SSL TPS) and the in-text
+//! birthday/guessing experiments. `EXPERIMENTS.md` records paper-vs-
+//! measured for each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pacstack_aarch64 as aarch64;
+pub use pacstack_acs as acs;
+pub use pacstack_attacks as attacks;
+pub use pacstack_compiler as compiler;
+pub use pacstack_pauth as pauth;
+pub use pacstack_qarma as qarma;
+pub use pacstack_workloads as workloads;

@@ -1,0 +1,292 @@
+//! ConFIRM-style compatibility suite (paper §7.3).
+//!
+//! The paper runs the applicable ConFIRM micro-benchmarks — corner cases
+//! that historically break CFI schemes — on the FVP and confirms they pass
+//! with and without PACStack. This file reproduces that test matrix: each
+//! case builds a corner-case program, runs it under *every* protection
+//! scheme, and requires behaviour identical to the unprotected baseline.
+
+use pacstack::aarch64::{Cpu, RunStatus};
+use pacstack::compiler::{lower, FuncDef, Module, Scheme, Stmt};
+
+/// Runs `module` under `scheme` to completion, returning (exit, output).
+fn run(module: &Module, scheme: Scheme) -> (u64, Vec<u64>) {
+    let mut cpu = Cpu::with_seed(lower(module, scheme), 99);
+    let out = cpu.run(200_000_000).expect("compat program must run clean");
+    match out.status {
+        RunStatus::Exited(code) => (code, cpu.output().to_vec()),
+        RunStatus::Syscall(n) => panic!("unexpected syscall {n}"),
+    }
+}
+
+/// Asserts a module behaves identically under every scheme.
+fn assert_compatible(module: &Module) {
+    let baseline = run(module, Scheme::Baseline);
+    for scheme in Scheme::ALL {
+        let result = run(module, scheme);
+        assert_eq!(result, baseline, "{scheme} diverged from baseline");
+    }
+}
+
+#[test]
+fn indirect_function_calls() {
+    // ConFIRM: code pointers / indirect calls through function pointers.
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::CallIndirect("virt_a".into()),
+            Stmt::Emit,
+            Stmt::CallIndirect("virt_b".into()),
+            Stmt::Emit,
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new("virt_a", vec![Stmt::Compute(3), Stmt::Return]));
+    m.push(FuncDef::new("virt_b", vec![Stmt::Compute(7), Stmt::Return]));
+    assert_compatible(&m);
+}
+
+#[test]
+fn virtual_dispatch_through_callers() {
+    // ConFIRM: virtual calls — an indirect call reached through a wrapper
+    // layer, as vtable dispatch lowers to.
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("dispatch".into()), Stmt::Emit, Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "dispatch",
+        vec![
+            Stmt::CallIndirect("impl_one".into()),
+            Stmt::CallIndirect("impl_two".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "impl_one",
+        vec![Stmt::Compute(2), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "impl_two",
+        vec![Stmt::MemAccess(2), Stmt::Return],
+    ));
+    assert_compatible(&m);
+}
+
+#[test]
+fn tail_calls() {
+    // ConFIRM: tail calls (the case §6.3.1 discusses for PACStack).
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("outer".into()), Stmt::Emit, Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "outer",
+        vec![Stmt::Compute(1), Stmt::TailCall("middle".into())],
+    ));
+    m.push(FuncDef::new(
+        "middle",
+        vec![Stmt::Compute(2), Stmt::TailCall("inner".into())],
+    ));
+    m.push(FuncDef::new(
+        "inner",
+        vec![Stmt::Compute(3), Stmt::Call("leafish".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "leafish",
+        vec![Stmt::Compute(4), Stmt::Return],
+    ));
+    assert_compatible(&m);
+}
+
+#[test]
+fn deep_call_chains() {
+    // ConFIRM: unusually deep stacks (128 nested activations).
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("d0".into()), Stmt::Return],
+    ));
+    for i in 0..128 {
+        let body = if i == 127 {
+            vec![Stmt::Compute(1), Stmt::Return]
+        } else {
+            vec![Stmt::Call(format!("d{}", i + 1)), Stmt::Return]
+        };
+        m.push(FuncDef::new(&format!("d{i}"), body));
+    }
+    assert_compatible(&m);
+}
+
+#[test]
+fn calling_convention_callee_saved_flow() {
+    // ConFIRM: calling conventions — data must flow through call
+    // boundaries unchanged even with CR (X28) reserved.
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::Compute(5),
+            Stmt::Call("add_layer".into()),
+            Stmt::Compute(5),
+            Stmt::Call("add_layer".into()),
+            Stmt::Emit,
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "add_layer",
+        vec![
+            Stmt::Compute(9),
+            Stmt::Call("add_core".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "add_core",
+        vec![Stmt::Compute(4), Stmt::MemAccess(2), Stmt::Return],
+    ));
+    assert_compatible(&m);
+}
+
+#[test]
+fn loops_with_calls_inside() {
+    // ConFIRM: signal-safety-adjacent — repeated call/return cycles from
+    // loop bodies (the pattern that stresses chain push/pop pairing).
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::Loop(32, vec![Stmt::Call("work".into()), Stmt::MemAccess(1)]),
+            Stmt::Emit,
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "work",
+        vec![Stmt::Loop(4, vec![Stmt::Call("unit".into())]), Stmt::Return],
+    ));
+    m.push(FuncDef::new("unit", vec![Stmt::Compute(2), Stmt::Return]));
+    assert_compatible(&m);
+}
+
+#[test]
+fn nested_loops_and_mixed_leaves() {
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::Loop(
+                6,
+                vec![Stmt::Loop(
+                    5,
+                    vec![Stmt::Call("leafy".into()), Stmt::Compute(1)],
+                )],
+            ),
+            Stmt::Emit,
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "leafy",
+        vec![Stmt::MemAccess(1), Stmt::Return],
+    ));
+    assert_compatible(&m);
+}
+
+#[test]
+fn recursion_like_repeated_reentry() {
+    // Static self-similar chains standing in for bounded recursion.
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("r0".into()), Stmt::Emit, Stmt::Return],
+    ));
+    for i in 0..16 {
+        let mut body = vec![Stmt::Compute(1)];
+        if i < 15 {
+            body.push(Stmt::Call(format!("r{}", i + 1)));
+            body.push(Stmt::Call(format!("r{}", i + 1))); // binary fan-out
+        }
+        body.push(Stmt::Return);
+        m.push(FuncDef::new(&format!("r{i}"), body));
+    }
+    assert_compatible(&m);
+}
+
+#[test]
+fn indirect_tail_position_dispatch() {
+    // Dispatch through a pointer followed by a tail call out.
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("route".into()), Stmt::Emit, Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "route",
+        vec![
+            Stmt::CallIndirect("handler".into()),
+            Stmt::TailCall("cleanup".into()),
+        ],
+    ));
+    m.push(FuncDef::new(
+        "handler",
+        vec![Stmt::Compute(6), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "cleanup",
+        vec![Stmt::Compute(1), Stmt::Call("sync".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new("sync", vec![Stmt::Compute(1), Stmt::Return]));
+    assert_compatible(&m);
+}
+
+#[test]
+fn data_flow_through_emits() {
+    // Observable output interleaved with calls must be identical in value
+    // *and order* across schemes.
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::Emit,
+            Stmt::Call("stage1".into()),
+            Stmt::Emit,
+            Stmt::Call("stage2".into()),
+            Stmt::Emit,
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "stage1",
+        vec![Stmt::Compute(11), Stmt::Call("tick".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "stage2",
+        vec![Stmt::Compute(13), Stmt::Call("tick".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new("tick", vec![Stmt::Compute(1), Stmt::Return]));
+    assert_compatible(&m);
+}
+
+#[test]
+fn whole_spec_suite_is_scheme_invariant() {
+    // Every SPEC-profile workload must compute identical results under all
+    // schemes (this is the load-bearing property behind Figure 5).
+    use pacstack::workloads::spec::{Suite, C_BENCHMARKS};
+    for profile in &C_BENCHMARKS {
+        let module = profile.module(Suite::Rate);
+        let baseline = run(&module, Scheme::Baseline);
+        for scheme in Scheme::ALL {
+            assert_eq!(
+                run(&module, scheme),
+                baseline,
+                "{} under {scheme}",
+                profile.name
+            );
+        }
+    }
+}

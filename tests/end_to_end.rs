@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full pipeline from cipher to
+//! instrumented execution and attack detection.
+
+use pacstack::aarch64::{Cpu, Fault, Reg, RunStatus};
+use pacstack::acs::{AcsConfig, AuthenticatedCallStack, Masking};
+use pacstack::compiler::{frame, lower, FuncDef, Module, Scheme, Stmt};
+use pacstack::pauth::{PaKey, PaKeys, PointerAuth, VaLayout};
+use pacstack::qarma::Qarma64;
+
+#[test]
+fn cipher_feeds_pac_feeds_acs() {
+    // The same QARMA instance the PA unit uses must underlie the chain:
+    // manually recompute one chain link and compare against the ACS.
+    let layout = VaLayout::default();
+    let pa = PointerAuth::new(layout);
+    let keys = PaKeys::from_seed(5);
+    let mut acs = AuthenticatedCallStack::new(
+        pa,
+        keys.clone(),
+        AcsConfig::default().masking(Masking::Unmasked),
+    );
+    acs.call(0x40_1000);
+
+    let cipher = Qarma64::recommended(keys.key(PaKey::Ia));
+    let expected_token = cipher.encrypt(0x40_1000, 0) & ((1 << layout.pac_bits()) - 1);
+    assert_eq!(layout.extract_pac(acs.chain_register()), expected_token);
+}
+
+#[test]
+fn simulator_chain_matches_state_machine() {
+    // Run an instrumented program to a checkpoint and check that the CR
+    // register holds exactly what the pure ACS model predicts.
+    let mut module = Module::new();
+    module.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("inner".into()), Stmt::Return],
+    ));
+    module.push(FuncDef::new(
+        "inner",
+        vec![
+            Stmt::Checkpoint(50),
+            Stmt::Call("leafish".into()),
+            Stmt::Return,
+        ],
+    ));
+    module.push(FuncDef::new(
+        "leafish",
+        vec![Stmt::Compute(1), Stmt::Return],
+    ));
+
+    let program = lower(&module, Scheme::PacStack);
+    let mut cpu = Cpu::with_seed(program, 7);
+    let out = cpu.run(100_000).unwrap();
+    assert_eq!(out.status, RunStatus::Syscall(50));
+
+    // Model: the stub calls main (ret_0 = stub+4... = entry+4), then main
+    // calls inner. Reconstruct with the actual return addresses.
+    let entry = 0x40_0000u64;
+    let ret_in_stub = entry + 4;
+    let main_addr = cpu.symbol("main").unwrap();
+    // main's prologue is 9 ops (PacStack: StrPre, Stp, mov, pacia, pacia,
+    // eor, mov, mov + pressure str) and the call is the next op.
+    let mut model = AuthenticatedCallStack::new(
+        PointerAuth::new(VaLayout::default()),
+        cpu.keys().clone(),
+        AcsConfig::default(),
+    );
+    model.call(ret_in_stub);
+    // Find the actual return address for the bl inside main: scan forward
+    // from main until the chain register matches. (The model proves the
+    // construction; the scan keeps the test robust to prologue length.)
+    let mut matched = false;
+    for insn_index in 0..64u64 {
+        let candidate_ret = main_addr + insn_index * 4;
+        let mut probe = model.clone();
+        probe.call(candidate_ret);
+        if probe.chain_register() == cpu.reg(Reg::CR) {
+            matched = true;
+            break;
+        }
+    }
+    assert!(
+        matched,
+        "simulator CR does not correspond to any model chain value"
+    );
+}
+
+#[test]
+fn fpac_mode_turns_corruption_into_immediate_fault() {
+    let mut module = Module::new();
+    module.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("victim".into()), Stmt::Return],
+    ));
+    module.push(FuncDef::new(
+        "victim",
+        vec![
+            Stmt::Checkpoint(51),
+            Stmt::Call("noop".into()),
+            Stmt::Return,
+        ],
+    ));
+    module.push(FuncDef::new("noop", vec![Stmt::Compute(1), Stmt::Return]));
+
+    let program = lower(&module, Scheme::PacStack);
+    let mut cpu = Cpu::with_seed(program, 3);
+    cpu.enable_fpac();
+    let out = cpu.run(100_000).unwrap();
+    assert_eq!(out.status, RunStatus::Syscall(51));
+    let sp = cpu.reg(Reg::Sp);
+    cpu.mem_mut()
+        .write_u64(sp + frame::CHAIN_SLOT as u64, 0xBAD)
+        .unwrap();
+    assert!(matches!(cpu.run(100_000), Err(Fault::PacFault { .. })));
+}
+
+#[test]
+fn rekeyed_process_invalidates_harvested_chain() {
+    // exec() regenerates keys: a chain value captured before re-keying is
+    // useless afterwards.
+    let pa = PointerAuth::new(VaLayout::default());
+    let mut acs = AuthenticatedCallStack::new(pa, PaKeys::from_seed(1), AcsConfig::default());
+    acs.call(0x40_1000);
+    acs.call(0x40_2000);
+    let harvested = acs.frames()[1].stored_chain;
+
+    let mut fresh = AuthenticatedCallStack::new(pa, PaKeys::from_seed(2), AcsConfig::default());
+    fresh.call(0x40_1000);
+    fresh.call(0x40_2000);
+    fresh.frames_mut()[1].stored_chain = harvested;
+    // Same call sequence, same addresses — but new keys. With a 16-bit PAC
+    // the stale value verifies only with probability 2^-16.
+    assert!(fresh.ret().is_err());
+}
+
+#[test]
+fn every_scheme_survives_the_nginx_workload() {
+    use pacstack::workloads::measure::run_module;
+    use pacstack::workloads::nginx::server_module;
+    let module = server_module(10);
+    let baseline = run_module(&module, Scheme::Baseline, 2_000_000_000);
+    for scheme in Scheme::ALL {
+        let m = run_module(&module, scheme, 2_000_000_000);
+        assert_eq!(m.exit_code, baseline.exit_code, "{scheme}");
+        assert!(
+            m.cycles >= baseline.cycles,
+            "{scheme} faster than baseline?"
+        );
+    }
+}
+
+#[test]
+fn chain_register_value_is_key_dependent_and_path_dependent() {
+    let pa = PointerAuth::new(VaLayout::default());
+    let build = |seed: u64, path: &[u64]| {
+        let mut acs =
+            AuthenticatedCallStack::new(pa, PaKeys::from_seed(seed), AcsConfig::default());
+        for &r in path {
+            acs.call(r);
+        }
+        acs.chain_register()
+    };
+    let a = build(1, &[0x40_1000, 0x40_2000]);
+    let b = build(2, &[0x40_1000, 0x40_2000]);
+    let c = build(1, &[0x40_3000, 0x40_2000]);
+    assert_ne!(a, b, "key must matter");
+    assert_ne!(a, c, "path must matter (this is what defeats reuse)");
+}

@@ -1,0 +1,127 @@
+//! C++-exception-style unwinding with per-frame chain validation
+//! (paper §9.1): the modelled language runtime unwinds the *live* CPU with
+//! `unwind_to_frame`, which authenticates every intermediate link before
+//! transferring control — unlike `longjmp`, which trusts the buffer.
+
+use pacstack::aarch64::{Cpu, Reg, RunStatus};
+use pacstack::acs::Masking;
+use pacstack::compiler::unwind::unwind_to_frame;
+use pacstack::compiler::{frame, lower, FuncDef, Module, Scheme, Stmt};
+
+const HANDLER_SETUP: u16 = 60; // "try" entry: runtime records the frame
+const THROW: u16 = 61; // deep function "throws": runtime unwinds
+
+/// main (try frame) → middle → deep (throws).
+fn exception_module() -> Module {
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![
+            Stmt::Checkpoint(HANDLER_SETUP),
+            Stmt::Call("middle".into()),
+            Stmt::Emit, // resumption point after the unwind
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new(
+        "middle",
+        vec![Stmt::MemAccess(1), Stmt::Call("deep".into()), Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "deep",
+        vec![
+            Stmt::Checkpoint(THROW),
+            Stmt::Call("noop".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new("noop", vec![Stmt::Compute(1), Stmt::Return]));
+    m
+}
+
+fn run_until(cpu: &mut Cpu, syscall: u16) {
+    loop {
+        let out = cpu.run(1_000_000).expect("clean run");
+        match out.status {
+            RunStatus::Syscall(n) if n == syscall => return,
+            RunStatus::Syscall(_) => continue,
+            RunStatus::Exited(code) => panic!("exited ({code}) before syscall {syscall}"),
+        }
+    }
+}
+
+#[test]
+fn validated_unwind_propagates_an_exception() {
+    let mut cpu = Cpu::with_seed(lower(&exception_module(), Scheme::PacStack), 31);
+    run_until(&mut cpu, HANDLER_SETUP);
+    let try_fp = cpu.reg(Reg::FP); // main's frame record
+
+    run_until(&mut cpu, THROW);
+    assert_ne!(cpu.reg(Reg::FP), try_fp, "the throw happens deeper");
+
+    // The runtime unwinds deep → middle → main, validating each link.
+    unwind_to_frame(&mut cpu, Masking::Masked, try_fp).expect("intact chain unwinds");
+    assert_eq!(cpu.reg(Reg::FP), try_fp);
+
+    // Execution resumes inside main (at middle's return point) and the
+    // program completes normally — main's own epilogue still verifies.
+    loop {
+        let out = cpu.run(1_000_000).expect("clean completion after unwind");
+        match out.status {
+            RunStatus::Exited(_) => break,
+            RunStatus::Syscall(_) => continue,
+        }
+    }
+    assert_eq!(cpu.output().len(), 1, "resumption point executed once");
+}
+
+#[test]
+fn corrupted_intermediate_frame_stops_the_unwind() {
+    let mut cpu = Cpu::with_seed(lower(&exception_module(), Scheme::PacStack), 31);
+    run_until(&mut cpu, HANDLER_SETUP);
+    let try_fp = cpu.reg(Reg::FP);
+    run_until(&mut cpu, THROW);
+
+    // Corrupt middle's chain slot — the frame the exception must pass
+    // through.
+    let deep_fp = cpu.reg(Reg::FP);
+    let middle_fp = cpu.mem().read_u64(deep_fp).unwrap();
+    let middle_chain = middle_fp - frame::FP_SLOT as u64 + frame::CHAIN_SLOT as u64;
+    let old = cpu.mem().read_u64(middle_chain).unwrap();
+    cpu.mem_mut().write_u64(middle_chain, old ^ 0x10).unwrap();
+
+    let pc_before = cpu.pc();
+    let violation = unwind_to_frame(&mut cpu, Masking::Masked, try_fp).unwrap_err();
+    assert_eq!(
+        violation.frame_index, 1,
+        "middle is the second frame from deep"
+    );
+    // The failed unwind must not have moved the CPU.
+    assert_eq!(cpu.pc(), pc_before);
+    assert_eq!(cpu.reg(Reg::FP), deep_fp);
+}
+
+#[test]
+fn unwind_to_unknown_frame_is_rejected() {
+    let mut cpu = Cpu::with_seed(lower(&exception_module(), Scheme::PacStack), 31);
+    run_until(&mut cpu, THROW);
+    // A frame pointer that is not on the chain (e.g. a forged target).
+    let err = unwind_to_frame(&mut cpu, Masking::Masked, 0x7ffe_0000).unwrap_err();
+    assert!(err.frame_index <= 4);
+}
+
+#[test]
+fn nomask_variant_unwinds_too() {
+    let mut cpu = Cpu::with_seed(lower(&exception_module(), Scheme::PacStackNomask), 13);
+    run_until(&mut cpu, HANDLER_SETUP);
+    let try_fp = cpu.reg(Reg::FP);
+    run_until(&mut cpu, THROW);
+    unwind_to_frame(&mut cpu, Masking::Unmasked, try_fp).expect("nomask chain unwinds");
+    loop {
+        let out = cpu.run(1_000_000).expect("clean completion");
+        match out.status {
+            RunStatus::Exited(_) => break,
+            RunStatus::Syscall(_) => continue,
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Signals delivered into PACStack-instrumented code (paper §6.3.2 and
+//! Appendix B): the chain must survive signal round trips, SROP must hand
+//! the adversary CR only in the unprotected kernel configuration, and the
+//! Appendix-B validation must close that hole.
+
+use pacstack::aarch64::kernel::{SignalDelivery, SIGRETURN_SYSCALL};
+use pacstack::aarch64::{Cpu, Fault, Reg, RunStatus};
+use pacstack::compiler::{lower, FuncDef, Module, Scheme, Stmt};
+
+const WORK_CHECKPOINT: u16 = 42;
+
+/// Instrumented workload with a checkpoint mid-chain, plus an
+/// uninstrumented leaf handler ending in `sigreturn`.
+fn signal_module() -> Module {
+    let mut m = Module::new();
+    m.push(FuncDef::new(
+        "main",
+        vec![Stmt::Call("work".into()), Stmt::Emit, Stmt::Return],
+    ));
+    m.push(FuncDef::new(
+        "work",
+        vec![
+            Stmt::Call("inner".into()),
+            Stmt::Checkpoint(WORK_CHECKPOINT),
+            Stmt::Call("inner".into()),
+            Stmt::Return,
+        ],
+    ));
+    m.push(FuncDef::new("inner", vec![Stmt::Compute(4), Stmt::Return]));
+    // The handler is a leaf that issues sigreturn; it must not disturb the
+    // interrupted chain (the kernel restores all registers).
+    m.push(FuncDef::new(
+        "handler",
+        vec![Stmt::Compute(2), Stmt::Sigreturn, Stmt::Return],
+    ));
+    m
+}
+
+fn run_with_signal(scheme: Scheme, protected: bool, forge_cr: bool) -> Result<Vec<u64>, Fault> {
+    let mut cpu = Cpu::with_seed(lower(&signal_module(), scheme), 21);
+    let mut signals = if protected {
+        SignalDelivery::protected()
+    } else {
+        SignalDelivery::new()
+    };
+
+    loop {
+        let out = cpu.run(10_000_000)?;
+        {
+            match out.status {
+                RunStatus::Exited(_) => return Ok(cpu.output().to_vec()),
+                RunStatus::Syscall(WORK_CHECKPOINT) => {
+                    // An asynchronous signal arrives mid-chain.
+                    let handler = cpu.symbol("handler").expect("handler exists");
+                    signals.deliver(&mut cpu, handler)?;
+                }
+                RunStatus::Syscall(SIGRETURN_SYSCALL) => {
+                    if forge_cr {
+                        // SROP: rewrite CR in the signal frame (slot 2+28).
+                        let frame = cpu.reg(Reg::Sp);
+                        cpu.mem_mut().write_u64(frame + (2 + 28) * 8, 0x4141_4141)?;
+                    }
+                    signals.sigreturn(&mut cpu)?;
+                }
+                RunStatus::Syscall(n) => panic!("unexpected syscall {n}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_survives_signal_round_trip_under_every_scheme() {
+    for scheme in Scheme::ALL {
+        let output =
+            run_with_signal(scheme, false, false).unwrap_or_else(|f| panic!("{scheme}: {f}"));
+        assert_eq!(
+            output.len(),
+            1,
+            "{scheme}: program did not complete normally"
+        );
+    }
+}
+
+#[test]
+fn srop_forges_cr_and_breaks_the_chain_when_unprotected() {
+    // With vanilla sigreturn the adversary replaces CR; the chain breaks
+    // at the next verification — the process crashes, but only *after* the
+    // adversary controlled CR (§6.3.2's concern: with more care they could
+    // have substituted a self-consistent state).
+    let result = run_with_signal(Scheme::PacStack, false, true);
+    assert!(result.is_err(), "forged CR must not unwind cleanly");
+}
+
+#[test]
+fn appendix_b_protection_kills_forged_frames_before_they_load() {
+    let result = run_with_signal(Scheme::PacStack, true, true);
+    assert_eq!(result.unwrap_err(), Fault::SigreturnViolation);
+}
+
+#[test]
+fn appendix_b_protection_is_transparent_to_benign_signals() {
+    for scheme in [Scheme::PacStack, Scheme::PacStackNomask, Scheme::Baseline] {
+        let output =
+            run_with_signal(scheme, true, false).unwrap_or_else(|f| panic!("{scheme}: {f}"));
+        assert_eq!(output.len(), 1, "{scheme}");
+    }
+}
+
+#[test]
+fn nested_signals_inside_instrumented_code() {
+    // Two signals delivered back to back at successive checkpoints.
+    let mut m = signal_module();
+    let _ = &mut m; // same module; deliver on both checkpoints
+    let mut cpu = Cpu::with_seed(lower(&m, Scheme::PacStack), 23);
+    let mut signals = SignalDelivery::protected();
+    let handler = cpu.symbol("handler").unwrap();
+    let mut delivered = 0;
+    loop {
+        let out = cpu.run(10_000_000).expect("clean run");
+        {
+            match out.status {
+                RunStatus::Exited(_) => break,
+                RunStatus::Syscall(WORK_CHECKPOINT) => {
+                    signals.deliver(&mut cpu, handler).unwrap();
+                    // Nest a second signal immediately.
+                    signals.deliver(&mut cpu, handler).unwrap();
+                    delivered += 2;
+                }
+                RunStatus::Syscall(SIGRETURN_SYSCALL) => {
+                    signals.sigreturn(&mut cpu).unwrap();
+                }
+                RunStatus::Syscall(n) => panic!("unexpected syscall {n}"),
+            }
+        }
+    }
+    assert_eq!(delivered, 2);
+    assert_eq!(signals.depth(), 0, "all signal frames unwound");
+}
