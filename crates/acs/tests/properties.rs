@@ -120,6 +120,90 @@ proptest! {
     }
 
     #[test]
+    fn longjmp_to_live_frame_restores_chain_register(
+        seed in any::<u64>(),
+        masking in arb_masking(),
+        before in prop::collection::vec(1u64..(1 << 39), 1..16),
+        after in prop::collection::vec(1u64..(1 << 39), 1..16),
+        jmp_ret in 1u64..(1 << 39),
+        sp in any::<u64>(),
+    ) {
+        let mut acs = build(seed, masking, 0);
+        for &ret in &before {
+            acs.call(ret);
+        }
+        let cr_at_setjmp = acs.chain_register();
+        let buf = acs.setjmp(jmp_ret, sp);
+        for &ret in &after {
+            acs.call(ret);
+        }
+        // The frame the buffer points at is still live: the jump must land
+        // on the bound return site and restore CR to the setjmp-time head,
+        // leaving the remaining chain fully unwindable.
+        prop_assert_eq!(acs.longjmp(&buf).unwrap(), jmp_ret);
+        prop_assert_eq!(acs.chain_register(), cr_at_setjmp);
+        prop_assert_eq!(acs.depth(), before.len());
+        let verified = acs.verify_chain().unwrap();
+        let expected: Vec<u64> = before.iter().rev().copied().collect();
+        prop_assert_eq!(verified, expected);
+    }
+
+    #[test]
+    fn longjmp_to_popped_frame_is_rejected(
+        seed in any::<u64>(),
+        masking in arb_masking(),
+        outer in prop::collection::vec(1u64..(1 << 39), 1..8),
+        inner in prop::collection::vec(1u64..(1 << 39), 1..8),
+        jmp_ret in 1u64..(1 << 39),
+        sp in any::<u64>(),
+    ) {
+        let mut acs = build(seed, masking, 0);
+        for &ret in &outer {
+            acs.call(ret);
+        }
+        for &ret in &inner {
+            acs.call(ret);
+        }
+        // setjmp inside the inner activations, then let them all return:
+        // the buffer's frame is popped and the buffer has expired.
+        let buf = acs.setjmp(jmp_ret, sp);
+        for _ in 0..inner.len() {
+            acs.ret().unwrap();
+        }
+        // The validating unwinder must refuse the expired buffer (its depth
+        // exceeds the live stack), leaving the stack untouched.
+        prop_assert!(acs.longjmp_validating(&buf).is_err());
+        prop_assert_eq!(acs.depth(), outer.len());
+        let verified = acs.verify_chain().unwrap();
+        let expected: Vec<u64> = outer.iter().rev().copied().collect();
+        prop_assert_eq!(verified, expected);
+    }
+
+    #[test]
+    fn verify_chain_round_trips_after_arbitrary_call_ret_sequences(
+        seed in any::<u64>(),
+        masking in arb_masking(),
+        ops in prop::collection::vec((any::<bool>(), 1u64..(1 << 39)), 1..64),
+    ) {
+        let mut acs = build(seed, masking, 0);
+        let mut shadow: Vec<u64> = Vec::new();
+        for &(is_call, ret) in &ops {
+            if is_call || shadow.is_empty() {
+                acs.call(ret);
+                shadow.push(ret);
+            } else {
+                let expected = shadow.pop().unwrap();
+                prop_assert_eq!(acs.ret().unwrap(), expected);
+            }
+            // After every prefix of the op sequence the chain verifies and
+            // reports exactly the live return addresses, innermost first.
+            let verified = acs.verify_chain().unwrap();
+            let expected: Vec<u64> = shadow.iter().rev().copied().collect();
+            prop_assert_eq!(verified, expected);
+        }
+    }
+
+    #[test]
     fn setjmp_longjmp_from_any_depth(
         seed in any::<u64>(),
         masking in arb_masking(),

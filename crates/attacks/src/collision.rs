@@ -10,10 +10,13 @@
 
 use crate::layout_with_pac_bits;
 use pacstack_acs::{AcsConfig, AuthenticatedCallStack, Masking};
+use pacstack_exec as exec;
 use pacstack_pauth::{PaKeys, PointerAuth};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::HashMap;
+
+/// RNG-stream tag for [`on_graph_attack`] trials.
+const STREAM_ON_GRAPH: u64 = 0x0C01_1151_04C4_2A71;
 
 /// Return address of the target function `C` (a call site in the victim).
 const RET_C: u64 = 0x40_1000;
@@ -136,14 +139,15 @@ pub fn harvest_until_collision(
 /// * **Masked**: collisions are invisible; the adversary substitutes the
 ///   chain head of a random other path and hopes (2⁻ᵇ).
 ///
-/// Each trial uses a fresh key (a fresh victim process).
+/// Each trial uses a fresh key (a fresh victim process). Trials fan out
+/// across the [`pacstack_exec`] worker pool; every trial's randomness comes
+/// from its own `(experiment, index)` stream, so the result is identical at
+/// any thread count.
 pub fn on_graph_attack(b: u32, masking: Masking, trials: u64, seed: u64) -> MonteCarlo {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut successes = 0;
     // Pool of paths the adversary may harvest per process.
     let pool: u64 = 4 * (1u64 << (b / 2 + 2));
 
-    for trial in 0..trials {
+    let (successes, stats) = exec::count_trials(seed ^ STREAM_ON_GRAPH, trials, |trial, rng| {
         let process_seed = rng.gen();
         match masking {
             Masking::Unmasked => {
@@ -161,9 +165,9 @@ pub fn on_graph_attack(b: u32, masking: Masking, trials: u64, seed: u64) -> Mont
                     };
                     acs.ret().expect("loader returns cleanly");
                     acs.frames_mut()[1].stored_chain = h_other;
-                    if acs.ret().is_ok() {
-                        successes += 1;
-                    }
+                    acs.ret().is_ok()
+                } else {
+                    false
                 }
             }
             Masking::Masked => {
@@ -176,12 +180,11 @@ pub fn on_graph_attack(b: u32, masking: Masking, trials: u64, seed: u64) -> Mont
                 drive_path(&mut acs, 0);
                 acs.ret().expect("loader returns cleanly");
                 acs.frames_mut()[1].stored_chain = h_decoy;
-                if acs.ret().is_ok() {
-                    successes += 1;
-                }
+                acs.ret().is_ok()
             }
         }
-    }
+    });
+    exec::stats::record(format!("on-graph b={b} {masking}"), stats);
     MonteCarlo { trials, successes }
 }
 

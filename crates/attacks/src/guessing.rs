@@ -19,6 +19,10 @@ use pacstack_pauth::{PaKey, PaKeys, PointerAuth};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// RNG-stream tag for [`mean_cost`] campaigns (unused for randomness —
+/// campaigns derive everything from their seed — but labels the stream).
+const STREAM_MEAN_COST: u64 = 0x63E5_5C05_7000_0003;
+
 const TARGET_ADDR: u64 = 0x43_0000;
 const PIVOT_ADDR: u64 = 0x40_0500;
 const FIXED_MODIFIER: u64 = 0x7fff_1000;
@@ -110,9 +114,15 @@ pub fn reseeded(b: u32, seed: u64) -> GuessCost {
     }
 }
 
-/// Averages a per-seed cost function over `runs` seeds.
-pub fn mean_cost<F: Fn(u64) -> u64>(runs: u64, f: F) -> f64 {
-    (0..runs).map(f).sum::<u64>() as f64 / runs as f64
+/// Averages a per-seed cost function over seeds `0..runs`, fanning the
+/// campaigns across the [`pacstack_exec`] worker pool (each campaign is a
+/// pure function of its seed, so the mean is identical at any thread
+/// count).
+pub fn mean_cost<F: Fn(u64) -> u64 + Sync>(runs: u64, f: F) -> f64 {
+    use pacstack_exec as exec;
+    let run = exec::run_trials(STREAM_MEAN_COST, runs, |i, _rng| f(i));
+    exec::stats::record(format!("guessing mean-cost runs={runs}"), run.stats);
+    run.results.iter().sum::<u64>() as f64 / runs as f64
 }
 
 #[cfg(test)]

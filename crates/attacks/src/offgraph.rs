@@ -14,9 +14,14 @@
 use crate::collision::MonteCarlo;
 use crate::layout_with_pac_bits;
 use pacstack_acs::{AcsConfig, AuthenticatedCallStack, Masking};
+use pacstack_exec as exec;
 use pacstack_pauth::{PaKeys, PointerAuth};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+
+/// RNG-stream tag for [`to_call_site`] trials.
+const STREAM_CALL_SITE: u64 = 0x0FF6_CA11_517E_0001;
+/// RNG-stream tag for [`to_arbitrary_address`] trials.
+const STREAM_ARBITRARY: u64 = 0x0FF6_A4B1_74A4_0002;
 
 const RET_MAIN: u64 = 0x40_0100;
 const RET_X: u64 = 0x40_0200;
@@ -39,9 +44,7 @@ fn acs_for(b: u32, masking: Masking, seed: u64) -> AuthenticatedCallStack {
 /// `aret_B` from a context where `B`'s activation spills it, then
 /// substitutes it as the chain-head of `C`'s frame and lets `C` return.
 pub fn to_call_site(b: u32, masking: Masking, trials: u64, seed: u64) -> MonteCarlo {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut successes = 0;
-    for _ in 0..trials {
+    let (successes, stats) = exec::count_trials(seed ^ STREAM_CALL_SITE, trials, |_, rng| {
         let process_seed = rng.gen();
 
         // Harvest a valid aret_B: drive main → B → (callee), spilling
@@ -59,10 +62,9 @@ pub fn to_call_site(b: u32, masking: Masking, trials: u64, seed: u64) -> MonteCa
         acs.call(RET_X);
         acs.call(RET_C);
         acs.frames_mut()[2].stored_chain = aret_b;
-        if acs.ret().is_ok() {
-            successes += 1;
-        }
-    }
+        acs.ret().is_ok()
+    });
+    exec::stats::record(format!("off-graph call-site b={b} {masking}"), stats);
     MonteCarlo { trials, successes }
 }
 
@@ -73,10 +75,8 @@ pub fn to_call_site(b: u32, masking: Masking, trials: u64, seed: u64) -> MonteCa
 /// load-time verification of `C`'s return *and* the subsequent return to
 /// actually land on the forged address.
 pub fn to_arbitrary_address(b: u32, masking: Masking, trials: u64, seed: u64) -> MonteCarlo {
-    let mut rng = StdRng::seed_from_u64(seed);
     let layout = layout_with_pac_bits(b);
-    let mut successes = 0;
-    for _ in 0..trials {
+    let (successes, stats) = exec::count_trials(seed ^ STREAM_ARBITRARY, trials, |_, rng| {
         let process_seed = rng.gen();
         let mut acs = acs_for(b, masking, process_seed);
         acs.call(RET_MAIN);
@@ -95,11 +95,12 @@ pub fn to_arbitrary_address(b: u32, masking: Masking, trials: u64, seed: u64) ->
             // return must authenticate it against an adversary-chosen
             // stored link and land on RET_EVIL.
             acs.frames_mut()[1].stored_chain = rng.gen::<u64>();
-            if acs.ret() == Ok(RET_EVIL) {
-                successes += 1;
-            }
+            acs.ret() == Ok(RET_EVIL)
+        } else {
+            false
         }
-    }
+    });
+    exec::stats::record(format!("off-graph arbitrary b={b} {masking}"), stats);
     MonteCarlo { trials, successes }
 }
 

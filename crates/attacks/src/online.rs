@@ -107,14 +107,16 @@ pub fn bruteforce_to_gadget(
     }
 }
 
-/// Mean launches until success across `campaigns` independent campaigns.
+/// Mean launches until success across `campaigns` independent campaigns,
+/// run across the [`pacstack_exec`] worker pool (each campaign's seed is a
+/// pure function of its index, so the mean is thread-count independent).
 pub fn mean_attempts(scheme: Scheme, b: u32, campaigns: u64, seed: u64) -> f64 {
-    let mut total = 0u64;
-    for i in 0..campaigns {
-        let result = bruteforce_to_gadget(scheme, b, u64::MAX, seed ^ (i * 0x9E37_79B9));
-        total += result.attempts;
-    }
-    total as f64 / campaigns as f64
+    use pacstack_exec as exec;
+    let run = exec::run_trials(seed ^ 0x0911_11E5_B4F0_0004, campaigns, |i, _rng| {
+        bruteforce_to_gadget(scheme, b, u64::MAX, seed ^ (i * 0x9E37_79B9)).attempts
+    });
+    exec::stats::record(format!("online brute-force {scheme} b={b}"), run.stats);
+    run.results.iter().sum::<u64>() as f64 / campaigns as f64
 }
 
 #[cfg(test)]

@@ -19,8 +19,15 @@
 //!
 //! Add `--save <dir>` to also write each section to `<dir>/<name>.txt`
 //! (artifact-evaluation style).
+//!
+//! Add `--jobs <N>` to set the worker-thread count for the Monte Carlo and
+//! sweep engine (default: one per available core; `--jobs 0` also means
+//! auto). Results are **byte-identical at any thread count**: every trial
+//! draws from its own `(experiment, trial-index)` RNG stream and results
+//! merge in index order. Per-experiment throughput/occupancy statistics go
+//! to stderr, never stdout, so saved tables stay reproducible.
 
-use pacstack_bench::{experiments, render};
+use pacstack_bench::{exec, experiments, render};
 use std::env;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -127,6 +134,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             save = Some(dir);
+        } else if arg == "--jobs" {
+            let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
+                eprintln!("--jobs needs a non-negative integer");
+                return ExitCode::FAILURE;
+            };
+            exec::set_jobs(n);
         } else {
             experiment = arg;
         }
@@ -170,5 +183,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Throughput/occupancy of every engine invocation — stderr only, so
+    // stdout (and --save artifacts) stay byte-identical across job counts.
+    exec::stats::report_to_stderr();
     ExitCode::SUCCESS
 }

@@ -4,6 +4,7 @@ use pacstack_acs::security::{self, ViolationKind};
 use pacstack_acs::Masking;
 use pacstack_attacks::{collision, gadget, guessing, offgraph, reuse, rop};
 use pacstack_compiler::Scheme;
+use pacstack_exec as exec;
 use pacstack_workloads::measure::{geometric_mean_percent, overhead_percent};
 use pacstack_workloads::nginx::{ssl_tps, TpsResult};
 use pacstack_workloads::spec::{Suite, CPP_BENCHMARKS, C_BENCHMARKS};
@@ -103,24 +104,30 @@ pub struct Figure5Row {
 }
 
 /// Reproduces Figure 5: per-benchmark overhead of all five instrumentations
-/// for the C benchmarks, in both suite flavours.
+/// for the C benchmarks, in both suite flavours. Benchmark runs fan out
+/// across the [`pacstack_exec`] worker pool; each (suite, benchmark) item
+/// is deterministic, so row order and values are thread-count independent.
 pub fn figure5() -> Vec<Figure5Row> {
-    let mut rows = Vec::new();
+    let mut items = Vec::new();
     for suite in [Suite::Rate, Suite::Speed] {
         for profile in &C_BENCHMARKS {
-            let module = profile.module(suite);
-            let overheads = MEASURED_SCHEMES
-                .iter()
-                .map(|&scheme| (scheme, overhead_percent(&module, scheme, BUDGET)))
-                .collect();
-            rows.push(Figure5Row {
-                name: profile.name.to_owned(),
-                suite,
-                overheads,
-            });
+            items.push((suite, profile));
         }
     }
-    rows
+    let run = exec::parallel_map(&items, |_, &(suite, profile)| {
+        let module = profile.module(suite);
+        let overheads = MEASURED_SCHEMES
+            .iter()
+            .map(|&scheme| (scheme, overhead_percent(&module, scheme, BUDGET)))
+            .collect();
+        Figure5Row {
+            name: profile.name.to_owned(),
+            suite,
+            overheads,
+        }
+    });
+    exec::stats::record("figure5 SPEC sweep", run.stats);
+    run.results
 }
 
 // ---------------------------------------------------------------------------
@@ -169,14 +176,15 @@ pub fn table2(figure5_rows: &[Figure5Row]) -> Vec<Table2Row> {
 
 /// The paper's aggregate for the C++ benchmarks: (PACStack %, nomask %).
 pub fn cpp_aggregate() -> (f64, f64) {
-    let full: Vec<f64> = CPP_BENCHMARKS
-        .iter()
-        .map(|p| overhead_percent(&p.module(Suite::Rate), Scheme::PacStack, BUDGET))
-        .collect();
-    let nomask: Vec<f64> = CPP_BENCHMARKS
-        .iter()
-        .map(|p| overhead_percent(&p.module(Suite::Rate), Scheme::PacStackNomask, BUDGET))
-        .collect();
+    let run = exec::parallel_map(&CPP_BENCHMARKS, |_, p| {
+        let module = p.module(Suite::Rate);
+        (
+            overhead_percent(&module, Scheme::PacStack, BUDGET),
+            overhead_percent(&module, Scheme::PacStackNomask, BUDGET),
+        )
+    });
+    exec::stats::record("figure5 C++ aggregate", run.stats);
+    let (full, nomask): (Vec<f64>, Vec<f64>) = run.results.into_iter().unzip();
     (
         geometric_mean_percent(&full),
         geometric_mean_percent(&nomask),
@@ -243,18 +251,21 @@ pub struct BirthdayRow {
 }
 
 /// Reproduces the §6.2.1 claim (321 tokens at b = 16) at measurable widths.
+/// Harvest campaigns fan out across the [`pacstack_exec`] worker pool; each
+/// campaign's seed is a pure function of its index, so the means are
+/// thread-count independent.
 pub fn birthday(widths: &[u32], runs: u64, seed: u64) -> Vec<BirthdayRow> {
     widths
         .iter()
         .map(|&b| {
             let budget = 64 * (1u64 << (b / 2 + 2));
-            let mut total = 0u64;
-            for run in 0..runs {
-                let harvest =
-                    collision::harvest_until_collision(b, Masking::Unmasked, seed + run, budget)
-                        .expect("collision within budget");
-                total += harvest.tokens;
-            }
+            let campaigns = exec::run_trials(seed ^ u64::from(b), runs, |i, _rng| {
+                collision::harvest_until_collision(b, Masking::Unmasked, seed + i, budget)
+                    .expect("collision within budget")
+                    .tokens
+            });
+            exec::stats::record(format!("birthday b={b}"), campaigns.stats);
+            let total: u64 = campaigns.results.iter().sum();
             BirthdayRow {
                 b,
                 measured_mean: total as f64 / runs as f64,
@@ -316,22 +327,20 @@ pub struct AttackMatrixRow {
 /// Runs the qualitative attacks (ROP, reuse, signing gadget) against every
 /// scheme — the reproduction of §2, §6.1 and §6.3.1.
 pub fn attack_matrix() -> Vec<AttackMatrixRow> {
-    let lr_overwrite = Scheme::ALL
-        .iter()
-        .map(|&s| (s, rop::run_attack(s, rop::WriteTarget::SavedReturnAddress)))
-        .collect();
-    let linear = Scheme::ALL
-        .iter()
-        .map(|&s| (s, rop::run_attack(s, rop::WriteTarget::LinearOverflow)))
-        .collect();
-    let reuse_same = Scheme::ALL
-        .iter()
-        .map(|&s| (s, reuse::run_reuse(s, true).outcome))
-        .collect();
-    let tail_gadget = [Scheme::PacStackNomask, Scheme::PacStack]
-        .iter()
-        .map(|&s| (s, gadget::tail_call_gadget_attack(s)))
-        .collect();
+    let lr_overwrite = exec::parallel_map(&Scheme::ALL, |_, &s| {
+        (s, rop::run_attack(s, rop::WriteTarget::SavedReturnAddress))
+    });
+    let linear = exec::parallel_map(&Scheme::ALL, |_, &s| {
+        (s, rop::run_attack(s, rop::WriteTarget::LinearOverflow))
+    });
+    let reuse_same =
+        exec::parallel_map(&Scheme::ALL, |_, &s| (s, reuse::run_reuse(s, true).outcome));
+    let tail_gadget = exec::parallel_map(&[Scheme::PacStackNomask, Scheme::PacStack], |_, &s| {
+        (s, gadget::tail_call_gadget_attack(s))
+    });
+    exec::stats::record("attack matrix", lr_overwrite.stats);
+    let (lr_overwrite, linear) = (lr_overwrite.results, linear.results);
+    let (reuse_same, tail_gadget) = (reuse_same.results, tail_gadget.results);
     vec![
         AttackMatrixRow {
             attack: "return-address overwrite",
@@ -401,16 +410,25 @@ pub fn ablations() -> Vec<AblationRow> {
         }
     };
     let _ = run_module(&module, Scheme::Baseline, BUDGET); // warm sanity check
+    let configs = [
+        (Scheme::PacStack, false),
+        (Scheme::PacStackNomask, false),
+        (Scheme::PacStack, true),
+    ];
+    let swept = exec::parallel_map(&configs, |_, &(scheme, leaves)| cycles(scheme, leaves));
+    exec::stats::record("ablations", swept.stats);
+    let [shipped, nomask, leaves_on]: [u64; 3] =
+        swept.results.try_into().expect("three ablation configs");
     vec![
         AblationRow {
             label: "PAC masking (PACStack vs nomask)".to_owned(),
-            cycles_on: cycles(Scheme::PacStack, false),
-            cycles_off: cycles(Scheme::PacStackNomask, false),
+            cycles_on: shipped,
+            cycles_off: nomask,
         },
         AblationRow {
             label: "leaf heuristic off (instrument leaves)".to_owned(),
-            cycles_on: cycles(Scheme::PacStack, true),
-            cycles_off: cycles(Scheme::PacStack, false),
+            cycles_on: leaves_on,
+            cycles_off: shipped,
         },
     ]
 }
@@ -432,15 +450,14 @@ pub struct GameRow {
 /// predicts the masked win rate collapses to chance.
 pub fn collision_games(widths: &[u32], trials: u64, seed: u64) -> Vec<GameRow> {
     use pacstack_acs::games::{collision_game_advantage, Oracle};
-    widths
-        .iter()
-        .map(|&b| GameRow {
-            b,
-            unmasked_win_rate: collision_game_advantage(b, Oracle::Unmasked, trials, seed),
-            masked_win_rate: collision_game_advantage(b, Oracle::Masked, trials, seed ^ 1),
-            chance: 2f64.powi(-(b as i32)),
-        })
-        .collect()
+    let run = exec::parallel_map(widths, |_, &b| GameRow {
+        b,
+        unmasked_win_rate: collision_game_advantage(b, Oracle::Unmasked, trials, seed),
+        masked_win_rate: collision_game_advantage(b, Oracle::Masked, trials, seed ^ 1),
+        chance: 2f64.powi(-(b as i32)),
+    });
+    exec::stats::record("collision games", run.stats);
+    run.results
 }
 
 // ---------------------------------------------------------------------------
@@ -507,16 +524,16 @@ pub struct ConfirmRow {
 
 /// Runs the §7.3 compatibility suite under every scheme.
 pub fn confirm_table() -> Vec<ConfirmRow> {
-    pacstack_workloads::confirm::suite()
-        .iter()
-        .map(|case| ConfirmRow {
-            name: case.name,
-            results: pacstack_workloads::confirm::run_case(case)
-                .into_iter()
-                .map(|r| (r.scheme, r.passed))
-                .collect(),
-        })
-        .collect()
+    let cases = pacstack_workloads::confirm::suite();
+    let run = exec::parallel_map(&cases, |_, case| ConfirmRow {
+        name: case.name,
+        results: pacstack_workloads::confirm::run_case(case)
+            .into_iter()
+            .map(|r| (r.scheme, r.passed))
+            .collect(),
+    });
+    exec::stats::record("ConFIRM suite", run.stats);
+    run.results
 }
 
 /// Instruction-mix row: what each scheme adds, by instruction class.
@@ -549,17 +566,16 @@ pub fn instruction_mix() -> Vec<MixRow> {
         }
     };
     let baseline = run(Scheme::Baseline);
-    Scheme::ALL
-        .iter()
-        .map(|&scheme| {
-            let counters = run(scheme);
-            MixRow {
-                scheme,
-                counters,
-                added_vs_baseline: counters.total() as i64 - baseline.total() as i64,
-            }
-        })
-        .collect()
+    let swept = exec::parallel_map(&Scheme::ALL, |_, &scheme| {
+        let counters = run(scheme);
+        MixRow {
+            scheme,
+            counters,
+            added_vs_baseline: counters.total() as i64 - baseline.total() as i64,
+        }
+    });
+    exec::stats::record("instruction mix", swept.stats);
+    swept.results
 }
 
 // ---------------------------------------------------------------------------
@@ -655,9 +671,9 @@ pub fn reuse_opportunities() -> Vec<ReuseRow> {
     use std::collections::HashMap;
 
     let module = reuse_module();
-    [Scheme::PacRet, Scheme::PacStackNomask, Scheme::PacStack]
-        .iter()
-        .map(|&scheme| {
+    let swept = exec::parallel_map(
+        &[Scheme::PacRet, Scheme::PacStackNomask, Scheme::PacStack],
+        |_, &scheme| {
             let program = pacstack_compiler::lower(&module, scheme);
             let mut cpu = pacstack_aarch64::Cpu::with_seed(program, 1);
             cpu.enable_pac_log();
@@ -690,8 +706,10 @@ pub fn reuse_opportunities() -> Vec<ReuseRow> {
                 reusable_modifier_groups: reusable,
                 interchangeable_pointers: interchangeable,
             }
-        })
-        .collect()
+        },
+    );
+    exec::stats::record("reuse opportunities", swept.stats);
+    swept.results
 }
 
 #[cfg(test)]

@@ -14,3 +14,5 @@
 
 pub mod experiments;
 pub mod render;
+
+pub use pacstack_exec as exec;

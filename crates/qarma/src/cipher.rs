@@ -248,8 +248,9 @@ mod tests {
 
     #[test]
     fn regression_vector_sigma2_r7() {
-        // Computed by this implementation (see regression_vector_sigma1_r7
-        // for the validation argument).
+        // Matches the independent public QARMA64 C implementation's r=7
+        // check value, cross-validating the non-involutory σ2 path; see
+        // tests/reference_vectors.rs for the full pin table.
         let cipher = Qarma64::new(W0, K0, Sigma::Sigma2, 7);
         let c = cipher.encrypt(PLAINTEXT, TWEAK);
         assert_eq!(c, 0x5c06a7501b63b2fd);

@@ -15,8 +15,13 @@
 
 use crate::measure::run_module;
 use pacstack_compiler::{FuncDef, Module, Scheme, Stmt};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pacstack_exec as exec;
+use rand::Rng;
+
+/// RNG-stream tag for [`ssl_tps`] measurement sessions. Deliberately
+/// excludes the scheme: paired comparisons (baseline vs instrumented at
+/// the same seed) must see identical per-run handshake jitter.
+const STREAM_SSL_TPS: u64 = 0x5517_7005_EA51_0005;
 
 /// Nominal CPU clock used to convert cycles to wall-clock TPS.
 pub const CLOCK_HZ: f64 = 2.0e9;
@@ -154,21 +159,24 @@ pub struct TpsResult {
 ///
 /// Each of `runs` measurement sessions perturbs the handshake round count
 /// ±10% (run-to-run load jitter) and measures cycles per transaction; TPS
-/// scales linearly with workers at the nominal clock.
+/// scales linearly with workers at the nominal clock. Sessions fan out
+/// across the [`pacstack_exec`] worker pool; each draws its jitter from its
+/// own `(seed, run-index)` stream, so the result is identical at any
+/// thread count.
 ///
 /// # Panics
 ///
 /// Panics if a run faults (the workload must run clean under every scheme).
 pub fn ssl_tps(scheme: Scheme, workers: u32, runs: usize, seed: u64) -> TpsResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut samples = Vec::with_capacity(runs);
-    for _ in 0..runs {
+    let run = exec::run_trials(seed ^ STREAM_SSL_TPS, runs as u64, |_, rng| {
         let rounds = 36 + rng.gen_range(0..=8); // 40 ± 10%
         let module = server_module(rounds);
         let m = run_module(&module, scheme, 1_000_000_000);
         let cycles_per_txn = m.cycles as f64 / f64::from(TRANSACTIONS);
-        samples.push(f64::from(workers) * CLOCK_HZ / cycles_per_txn);
-    }
+        f64::from(workers) * CLOCK_HZ / cycles_per_txn
+    });
+    exec::stats::record(format!("ssl-tps {scheme} workers={workers}"), run.stats);
+    let samples = run.results;
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
     TpsResult {

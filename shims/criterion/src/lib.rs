@@ -1,0 +1,203 @@
+//! Offline stand-in for the subset of [`criterion` 0.5](https://docs.rs/criterion)
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal timing harness with the same surface syntax:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Bencher::iter`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — warm-up plus a fixed sample count,
+//! reporting the mean and min/max per iteration — but the bench binaries
+//! compile and run unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical path.
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_benchmark(&id.to_string(), 20, &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration outside the timings.
+        black_box(routine());
+        for _ in 0..self.requested_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        requested_samples: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {label}: no samples collected");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    println!(
+        "  {label}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}
