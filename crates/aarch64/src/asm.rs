@@ -336,6 +336,8 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::Cpu;
 

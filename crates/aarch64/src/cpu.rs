@@ -1,6 +1,7 @@
 //! The CPU interpreter.
 
 use crate::memory::LAYOUT;
+use crate::program::LinkError;
 use crate::regs::RegisterFile;
 use crate::{Cond, CostModel, Fault, Instruction, Memory, Program, Reg};
 use pacstack_pauth::{AuthFailure, PaKey, PaKeys, PointerAuth, VaLayout};
@@ -130,6 +131,10 @@ pub struct Cpu {
     symbols: HashMap<String, u64>,
     pa: PointerAuth,
     keys: PaKeys,
+    /// Set when the key registers were corrupted out-of-band (fault
+    /// injection); lets authentication failures surface as
+    /// [`Fault::KeyFault`] instead of a generic mismatch.
+    keys_tainted: bool,
     cost: CostModel,
     cycles: u64,
     instructions: u64,
@@ -143,8 +148,25 @@ pub struct Cpu {
 impl Cpu {
     /// Builds a CPU for `program` with PA keys derived from `seed`, the
     /// standard memory layout and the default cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not link; use [`Cpu::try_with_seed`] to
+    /// handle malformed programs as data.
     pub fn with_seed(program: Program, seed: u64) -> Self {
-        Self::with_parts(
+        match Self::try_with_seed(program, seed) {
+            Ok(cpu) => cpu,
+            Err(e) => panic!("program does not link: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Cpu::with_seed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LinkError`] if the program does not assemble.
+    pub fn try_with_seed(program: Program, seed: u64) -> Result<Self, LinkError> {
+        Self::try_with_parts(
             program,
             PaKeys::from_seed(seed),
             PointerAuth::new(VaLayout::default()),
@@ -153,12 +175,36 @@ impl Cpu {
     }
 
     /// Builds a CPU with explicit keys, PA configuration and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not link; use [`Cpu::try_with_parts`] to
+    /// handle malformed programs as data.
     pub fn with_parts(program: Program, keys: PaKeys, pa: PointerAuth, cost: CostModel) -> Self {
-        let image = program.assemble(LAYOUT.code_base);
+        match Self::try_with_parts(program, keys, pa, cost) {
+            Ok(cpu) => cpu,
+            Err(e) => panic!("program does not link: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Cpu::with_parts`] — the entry point for
+    /// harnesses (fault injection, fuzzing) that must never abort the host
+    /// process on a malformed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LinkError`] if the program does not assemble.
+    pub fn try_with_parts(
+        program: Program,
+        keys: PaKeys,
+        pa: PointerAuth,
+        cost: CostModel,
+    ) -> Result<Self, LinkError> {
+        let image = program.assemble(LAYOUT.code_base)?;
         let mut regs = RegisterFile::new();
         regs.write(Reg::Sp, LAYOUT.stack_top - 16);
         regs.write(Reg::SCS, LAYOUT.shadow_stack_base);
-        Self {
+        Ok(Self {
             regs,
             pc: image.entry,
             flags: Flags::default(),
@@ -168,6 +214,7 @@ impl Cpu {
             symbols: image.symbols,
             pa,
             keys,
+            keys_tainted: false,
             cost,
             cycles: 0,
             instructions: 0,
@@ -176,7 +223,7 @@ impl Cpu {
             trace: None,
             pac_log: None,
             bti: false,
-        }
+        })
     }
 
     /// Switches the PA unit to ARMv8.6-A FPAC semantics (fault on `aut*`).
@@ -245,9 +292,26 @@ impl Cpu {
         &self.keys
     }
 
-    /// Replaces the PA keys, as the kernel does on `exec`.
+    /// Replaces the PA keys, as the kernel does on `exec`. Legitimate
+    /// kernel re-keying clears any corruption taint.
     pub fn set_keys(&mut self, keys: PaKeys) {
         self.keys = keys;
+        self.keys_tainted = false;
+    }
+
+    /// Overwrites the PA keys *as a fault*, not as kernel policy: models a
+    /// glitch on the key registers. Subsequent authentication failures
+    /// surface as [`Fault::KeyFault`] so campaigns can attribute the
+    /// mismatch to key corruption rather than a forged pointer.
+    pub fn corrupt_keys(&mut self, keys: PaKeys) {
+        self.keys = keys;
+        self.keys_tainted = true;
+    }
+
+    /// Whether the PA keys were corrupted via [`Cpu::corrupt_keys`] and not
+    /// yet legitimately replaced.
+    pub fn keys_tainted(&self) -> bool {
+        self.keys_tainted
     }
 
     /// Address of a function, if defined.
@@ -359,6 +423,12 @@ impl Cpu {
     fn authenticate_with(&self, key: PaKey, pointer: u64, modifier: u64) -> Result<u64, Fault> {
         match self.pa.aut(&self.keys, key, pointer, modifier) {
             Ok(p) => Ok(p),
+            // Failures under glitched key registers are attributable to the
+            // key material itself; surfacing them as a distinct fault keeps
+            // chaos-campaign classification honest. (A strictly-more-
+            // detectable simplification in error-bit mode, where hardware
+            // would fault one use later.)
+            Err(_) if self.keys_tainted => Err(Fault::KeyFault { pointer }),
             Err(err) => match self.pa.failure() {
                 AuthFailure::Fault => Err(Fault::PacFault { pointer }),
                 AuthFailure::ErrorBit => Ok(err.corrupted),
@@ -366,12 +436,17 @@ impl Cpu {
         }
     }
 
-    /// Executes one instruction.
+    /// Executes one instruction — the interposition point for fault
+    /// injection: a harness can perturb architectural state between any two
+    /// retired instructions.
+    ///
+    /// Returns `Ok(None)` while the program is still running, or
+    /// `Ok(Some(status))` on exit / unhandled syscall.
     ///
     /// # Errors
     ///
     /// Propagates any [`Fault`].
-    fn step(&mut self) -> Result<Option<RunStatus>, Fault> {
+    pub fn step(&mut self) -> Result<Option<RunStatus>, Fault> {
         use Instruction::*;
         let insn = self.fetch()?;
         self.cycles += self.cost.cost(&insn);
@@ -626,6 +701,8 @@ impl Cpu {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::program::Op;
     use crate::Instruction::*;
@@ -779,6 +856,43 @@ mod tests {
         assert!(matches!(
             run_program(p),
             Err(Fault::TranslationFault { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_keys_raise_key_fault() {
+        // Sign under the real keys, glitch the key registers, authenticate:
+        // the mismatch is attributed to the keys, not a forged pointer.
+        let mut p = Program::new();
+        p.function(
+            "main",
+            vec![Paciasp, Svc(40), Retaa], // svc #40: harness corrupts keys
+        );
+        let mut cpu = Cpu::with_seed(p, 7);
+        let out = cpu.run(100).unwrap();
+        assert_eq!(out.status, RunStatus::Syscall(40));
+        cpu.corrupt_keys(PaKeys::from_seed(999));
+        assert!(cpu.keys_tainted());
+        assert!(matches!(cpu.run(100), Err(Fault::KeyFault { .. })));
+    }
+
+    #[test]
+    fn rekeying_clears_key_taint() {
+        let mut p = Program::new();
+        p.function("main", vec![MovImm(Reg::X0, 0), Ret]);
+        let mut cpu = Cpu::with_seed(p, 7);
+        cpu.corrupt_keys(PaKeys::from_seed(999));
+        cpu.set_keys(PaKeys::from_seed(7));
+        assert!(!cpu.keys_tainted());
+    }
+
+    #[test]
+    fn try_with_seed_reports_link_errors() {
+        let mut p = Program::new();
+        p.function_ops("main", vec![Op::Call("ghost".into())]);
+        assert!(matches!(
+            Cpu::try_with_seed(p, 7),
+            Err(LinkError::UnresolvedFunction { .. })
         ));
     }
 

@@ -42,6 +42,17 @@ pub enum Fault {
     /// `sigreturn` validation failed in the ACS-protected signal model
     /// (paper Appendix B): the kernel kills the process.
     SigreturnViolation,
+    /// Authentication failed while the PA key registers were known to be
+    /// corrupted (chaos injection): the mismatch is attributable to the key
+    /// material itself, not to a forged pointer.
+    KeyFault {
+        /// The pointer whose authentication failed under corrupted keys.
+        pointer: u64,
+    },
+    /// A task was spawned at (or a call targeted) a symbol the program does
+    /// not define — a structured replacement for the kernel's old
+    /// `no function` host panic.
+    NoSuchSymbol,
 }
 
 impl fmt::Display for Fault {
@@ -63,6 +74,13 @@ impl fmt::Display for Fault {
             }
             Fault::Timeout => f.write_str("instruction budget exhausted"),
             Fault::SigreturnViolation => f.write_str("sigreturn validation failed"),
+            Fault::KeyFault { pointer } => {
+                write!(
+                    f,
+                    "authentication failed on {pointer:#018x} under corrupted PA keys"
+                )
+            }
+            Fault::NoSuchSymbol => f.write_str("no such symbol in program image"),
         }
     }
 }
@@ -81,5 +99,38 @@ mod tests {
         .to_string();
         assert!(s.contains("0x0000400000001234"));
         assert!(Fault::Timeout.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn key_fault_displays_pointer_and_cause() {
+        let s = Fault::KeyFault {
+            pointer: 0x007F_0000_BEEF,
+        }
+        .to_string();
+        assert!(s.contains("0x0000007f0000beef"));
+        assert!(s.contains("corrupted PA keys"));
+    }
+
+    #[test]
+    fn every_fault_variant_displays_distinctly() {
+        let faults = [
+            Fault::TranslationFault { addr: 1 },
+            Fault::AccessFault { addr: 1 },
+            Fault::PermissionFault { addr: 1 },
+            Fault::FetchFault { pc: 1 },
+            Fault::PacFault { pointer: 1 },
+            Fault::Timeout,
+            Fault::SigreturnViolation,
+            Fault::KeyFault { pointer: 1 },
+            Fault::NoSuchSymbol,
+        ];
+        let rendered: Vec<String> = faults.iter().map(Fault::to_string).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b, "two fault variants render identically");
+            }
+        }
+        assert!(Fault::NoSuchSymbol.to_string().contains("symbol"));
     }
 }

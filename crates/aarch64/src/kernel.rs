@@ -98,8 +98,7 @@ impl SignalDelivery {
         let mut slots = Vec::with_capacity(FRAME_SLOTS as usize);
         slots.push(cpu.pc());
         slots.push(cpu.reg(Reg::Sp));
-        for i in 0..31 {
-            let reg = Reg::from_index(i).expect("index in range");
+        for reg in (0..31).filter_map(Reg::from_index) {
             slots.push(cpu.reg(reg));
         }
         for (i, value) in slots.iter().enumerate() {
@@ -156,7 +155,9 @@ impl SignalDelivery {
         }
 
         for (i, value) in regs.iter().enumerate() {
-            cpu.set_reg(Reg::from_index(i).expect("index in range"), *value);
+            if let Some(reg) = Reg::from_index(i) {
+                cpu.set_reg(reg, *value);
+            }
         }
         cpu.set_reg(Reg::Sp, sp);
         cpu.set_pc(pc);
@@ -215,13 +216,12 @@ impl Scheduler {
     /// shadow-stack window and chain seed (`CR = chain_seed`, the §4.3
     /// re-seeding that keeps sibling chains disjoint).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entry` is not a known symbol.
-    pub fn spawn(&mut self, cpu: &mut Cpu, entry: &str, chain_seed: u64) {
-        let entry_addr = cpu
-            .symbol(entry)
-            .unwrap_or_else(|| panic!("no function {entry:?}"));
+    /// [`Fault::NoSuchSymbol`] if `entry` is not defined by the program —
+    /// a reportable outcome, not a host-process abort.
+    pub fn spawn(&mut self, cpu: &mut Cpu, entry: &str, chain_seed: u64) -> Result<(), Fault> {
+        let entry_addr = cpu.symbol(entry).ok_or(Fault::NoSuchSymbol)?;
         let stack_base = self.next_stack;
         self.next_stack += 2 * THREAD_STACK_SIZE; // guard gap between stacks
         cpu.mem_mut()
@@ -247,6 +247,7 @@ impl Scheduler {
             context: Some(context),
             exit_code: None,
         });
+        Ok(())
     }
 
     /// Number of tasks still runnable.
@@ -286,16 +287,21 @@ impl Scheduler {
                 return Err(Fault::Timeout);
             }
             slices += 1;
-            // Pick the next runnable task.
+            // Pick the next runnable task, taking its context as we find it.
             let n = self.tasks.len();
-            let Some(offset) =
-                (0..n).find(|i| self.tasks[(self.current + i) % n].context.is_some())
-            else {
+            let mut selected = None;
+            for i in 0..n {
+                let idx = (self.current + i) % n;
+                if let Some(context) = self.tasks[idx].context.take() {
+                    selected = Some((idx, context));
+                    break;
+                }
+            }
+            let Some((idx, context)) = selected else {
                 break;
             };
-            self.current = (self.current + offset) % n;
-            let task = &mut self.tasks[self.current];
-            let context = task.context.take().expect("selected task is runnable");
+            self.current = idx;
+            let task = &mut self.tasks[idx];
             cpu.restore_context(&context);
 
             match cpu.run(quantum) {
@@ -338,6 +344,8 @@ pub fn exec_rekey(cpu: &mut Cpu, seed: u64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::program::Op;
     use crate::Instruction::*;

@@ -41,6 +41,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic paths must not silently return: fault injection requires structured
+// errors end to end ([`Fault`], [`LinkError`]). Tests opt back in locally.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod asm;
 mod cost;
@@ -58,5 +61,5 @@ pub use cpu::{Context, Cpu, InsnCounters, Outcome, RunStatus};
 pub use fault::Fault;
 pub use insn::{Cond, Instruction};
 pub use memory::{Memory, Perms, LAYOUT};
-pub use program::Program;
+pub use program::{LinkError, Program};
 pub use regs::Reg;

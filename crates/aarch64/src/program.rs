@@ -86,6 +86,57 @@ pub struct Image {
     pub entry: u64,
 }
 
+/// A structured link-time failure raised by [`Program::assemble`].
+///
+/// These used to be host-process panics; a fault-injection campaign that
+/// perturbs program construction needs them to be reportable outcomes
+/// instead of aborts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The program defines no `main` function.
+    MissingMain,
+    /// A call/tail-call/address-of refers to a function that does not exist.
+    UnresolvedFunction {
+        /// Function containing the dangling reference.
+        function: String,
+        /// The missing callee.
+        name: String,
+    },
+    /// A branch or label-address op refers to a label the function lacks.
+    UnresolvedLabel {
+        /// Function containing the dangling reference.
+        function: String,
+        /// The missing local label.
+        label: String,
+    },
+    /// The same local label is defined twice within one function.
+    DuplicateLabel {
+        /// Function containing the clash.
+        function: String,
+        /// The label defined twice.
+        label: String,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::MissingMain => write!(f, "program has no `main`"),
+            LinkError::UnresolvedFunction { function, name } => {
+                write!(f, "unresolved function {name:?} in {function}")
+            }
+            LinkError::UnresolvedLabel { function, label } => {
+                write!(f, "unresolved label {label:?} in {function}")
+            }
+            LinkError::DuplicateLabel { function, label } => {
+                write!(f, "duplicate label {label:?} in {function}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {
@@ -127,12 +178,14 @@ impl Program {
 
     /// Assembles the program at `code_base`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on unresolved function or label references, or if `main` is
-    /// missing.
-    pub fn assemble(&self, code_base: u64) -> Image {
-        assert!(self.contains("main"), "program has no `main`");
+    /// Returns a [`LinkError`] on unresolved function or label references,
+    /// duplicate local labels, or a missing `main`.
+    pub fn assemble(&self, code_base: u64) -> Result<Image, LinkError> {
+        if !self.contains("main") {
+            return Err(LinkError::MissingMain);
+        }
 
         // The start stub: bl main; svc #0 (exit with X0).
         let stub_len = 2u64;
@@ -147,57 +200,67 @@ impl Program {
         }
 
         // Pass 2: emit.
-        let mut instructions = vec![Instruction::Bl(symbols["main"]), Instruction::Svc(0)];
+        let main = symbols.get("main").copied().ok_or(LinkError::MissingMain)?;
+        let mut instructions = vec![Instruction::Bl(main), Instruction::Svc(0)];
         for f in &self.functions {
             // Local label addresses within this function.
             let mut labels = HashMap::new();
-            let mut pc = symbols[&f.name];
+            let mut pc = symbols.get(&f.name).copied().unwrap_or(code_base);
             for op in &f.ops {
                 match op {
                     Op::Label(l) => {
-                        assert!(
-                            labels.insert(l.clone(), pc).is_none(),
-                            "duplicate label {l:?} in {}",
-                            f.name
-                        );
+                        if labels.insert(l.clone(), pc).is_some() {
+                            return Err(LinkError::DuplicateLabel {
+                                function: f.name.clone(),
+                                label: l.clone(),
+                            });
+                        }
                     }
                     _ => pc += 4,
                 }
             }
 
-            let fn_sym = |name: &str| -> u64 {
-                *symbols
+            let fn_sym = |name: &str| -> Result<u64, LinkError> {
+                symbols
                     .get(name)
-                    .unwrap_or_else(|| panic!("unresolved function {name:?} in {}", f.name))
+                    .copied()
+                    .ok_or_else(|| LinkError::UnresolvedFunction {
+                        function: f.name.clone(),
+                        name: name.to_owned(),
+                    })
             };
-            let label_sym = |name: &str| -> u64 {
-                *labels
+            let label_sym = |name: &str| -> Result<u64, LinkError> {
+                labels
                     .get(name)
-                    .unwrap_or_else(|| panic!("unresolved label {name:?} in {}", f.name))
+                    .copied()
+                    .ok_or_else(|| LinkError::UnresolvedLabel {
+                        function: f.name.clone(),
+                        label: name.to_owned(),
+                    })
             };
 
             for op in &f.ops {
                 let insn = match op {
                     Op::I(i) => *i,
-                    Op::Call(name) => Instruction::Bl(fn_sym(name)),
-                    Op::TailCall(name) => Instruction::B(fn_sym(name)),
-                    Op::FnAddr(reg, name) => Instruction::MovImm(*reg, fn_sym(name)),
-                    Op::LabelAddr(reg, name) => Instruction::MovImm(*reg, label_sym(name)),
-                    Op::Jump(l) => Instruction::B(label_sym(l)),
-                    Op::JumpCond(c, l) => Instruction::BCond(*c, label_sym(l)),
-                    Op::JumpZero(r, l) => Instruction::Cbz(*r, label_sym(l)),
-                    Op::JumpNonZero(r, l) => Instruction::Cbnz(*r, label_sym(l)),
+                    Op::Call(name) => Instruction::Bl(fn_sym(name)?),
+                    Op::TailCall(name) => Instruction::B(fn_sym(name)?),
+                    Op::FnAddr(reg, name) => Instruction::MovImm(*reg, fn_sym(name)?),
+                    Op::LabelAddr(reg, name) => Instruction::MovImm(*reg, label_sym(name)?),
+                    Op::Jump(l) => Instruction::B(label_sym(l)?),
+                    Op::JumpCond(c, l) => Instruction::BCond(*c, label_sym(l)?),
+                    Op::JumpZero(r, l) => Instruction::Cbz(*r, label_sym(l)?),
+                    Op::JumpNonZero(r, l) => Instruction::Cbnz(*r, label_sym(l)?),
                     Op::Label(_) => continue,
                 };
                 instructions.push(insn);
             }
         }
 
-        Image {
+        Ok(Image {
             instructions,
             symbols,
             entry: code_base,
-        }
+        })
     }
 }
 
@@ -226,6 +289,8 @@ impl fmt::Display for Program {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::Instruction::*;
 
@@ -233,7 +298,7 @@ mod tests {
     fn assembles_stub_and_symbols() {
         let mut p = Program::new();
         p.function("main", vec![MovImm(Reg::X0, 7), Ret]);
-        let image = p.assemble(0x40_0000);
+        let image = p.assemble(0x40_0000).unwrap();
         assert_eq!(image.entry, 0x40_0000);
         assert_eq!(image.symbols["main"], 0x40_0008);
         assert_eq!(image.instructions[0], Bl(0x40_0008));
@@ -245,7 +310,7 @@ mod tests {
         let mut p = Program::new();
         p.function_ops("main", vec![Op::Call("helper".into()), Op::I(Ret)]);
         p.function("helper", vec![Ret]);
-        let image = p.assemble(0x40_0000);
+        let image = p.assemble(0x40_0000).unwrap();
         let main_addr = image.symbols["main"];
         let helper_addr = image.symbols["helper"];
         let idx = ((main_addr - 0x40_0000) / 4) as usize;
@@ -265,7 +330,7 @@ mod tests {
                 Op::I(Ret),
             ],
         );
-        let image = p.assemble(0x40_0000);
+        let image = p.assemble(0x40_0000).unwrap();
         let main_addr = image.symbols["main"];
         // The label points at the AddImm, one slot after the MovImm.
         let idx = ((main_addr - 0x40_0000) / 4) as usize;
@@ -280,7 +345,7 @@ mod tests {
             vec![Op::FnAddr(Reg::X9, "target".into()), Op::I(Ret)],
         );
         p.function("target", vec![Ret]);
-        let image = p.assemble(0x40_0000);
+        let image = p.assemble(0x40_0000).unwrap();
         let idx = ((image.symbols["main"] - 0x40_0000) / 4) as usize;
         assert_eq!(
             image.instructions[idx],
@@ -289,17 +354,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no `main`")]
-    fn missing_main_panics() {
-        Program::new().assemble(0x40_0000);
+    fn missing_main_is_a_link_error() {
+        assert_eq!(
+            Program::new().assemble(0x40_0000).unwrap_err(),
+            LinkError::MissingMain
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unresolved function")]
-    fn unresolved_call_panics() {
+    fn unresolved_call_is_a_link_error() {
         let mut p = Program::new();
         p.function_ops("main", vec![Op::Call("ghost".into())]);
-        p.assemble(0x40_0000);
+        let err = p.assemble(0x40_0000).unwrap_err();
+        assert_eq!(
+            err,
+            LinkError::UnresolvedFunction {
+                function: "main".into(),
+                name: "ghost".into(),
+            }
+        );
+        assert_eq!(err.to_string(), "unresolved function \"ghost\" in main");
+    }
+
+    #[test]
+    fn unresolved_label_is_a_link_error() {
+        let mut p = Program::new();
+        p.function_ops("main", vec![Op::Jump("nowhere".into()), Op::I(Ret)]);
+        let err = p.assemble(0x40_0000).unwrap_err();
+        assert_eq!(
+            err,
+            LinkError::UnresolvedLabel {
+                function: "main".into(),
+                label: "nowhere".into(),
+            }
+        );
+        assert_eq!(err.to_string(), "unresolved label \"nowhere\" in main");
+    }
+
+    #[test]
+    fn duplicate_label_is_a_link_error() {
+        let mut p = Program::new();
+        p.function_ops(
+            "main",
+            vec![
+                Op::Label("twice".into()),
+                Op::I(Nop),
+                Op::Label("twice".into()),
+                Op::I(Ret),
+            ],
+        );
+        assert_eq!(
+            p.assemble(0x40_0000).unwrap_err(),
+            LinkError::DuplicateLabel {
+                function: "main".into(),
+                label: "twice".into(),
+            }
+        );
     }
 
     #[test]

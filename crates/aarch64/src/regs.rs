@@ -64,7 +64,7 @@ impl Reg {
 
     /// All 31 general-purpose registers (excluding `SP`/`XZR`).
     pub fn general_purpose() -> impl Iterator<Item = Reg> {
-        (0..31).map(|i| Reg::from_index(i).expect("index in range"))
+        (0..31).filter_map(Reg::from_index)
     }
 
     /// Whether the AAPCS64 calling convention makes this register
@@ -150,6 +150,8 @@ impl RegisterFile {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -112,6 +112,8 @@ pub fn disassemble_around(cpu: &Cpu, addr: u64, context: u64) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::Instruction::*;
     use crate::{Program, Reg};

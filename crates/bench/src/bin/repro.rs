@@ -14,6 +14,7 @@
 //! repro confirm    §7.3      ConFIRM compatibility pass/fail table
 //! repro mix        §7.1      retired instructions by class per scheme
 //! repro reuse      §6.1      interchangeable signed pointers per scheme
+//! repro faults     §3/§6.2   fault-injection coverage matrix + supervisor economics
 //! repro all        everything above
 //! ```
 //!
@@ -118,6 +119,19 @@ fn run_games(save: &Option<PathBuf>) {
     emit(save, "games", &render::games(&rows));
 }
 
+fn run_faults(save: &Option<PathBuf>) -> Result<(), ()> {
+    match experiments::faults(24, 0xFA17) {
+        Ok(report) => {
+            emit(save, "faults", &render::faults(&report));
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("fault-injection campaign failed to prepare: {e}");
+            Err(())
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
     let mut save: Option<PathBuf> = None;
@@ -163,6 +177,11 @@ fn main() -> ExitCode {
         "confirm" => run_confirm(&save),
         "mix" => run_mix(&save),
         "reuse" => run_reuse(&save),
+        "faults" => {
+            if run_faults(&save).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_table1(&save);
             let rows = run_figure5(&save);
@@ -177,6 +196,9 @@ fn main() -> ExitCode {
             run_confirm(&save);
             run_mix(&save);
             run_reuse(&save);
+            if run_faults(&save).is_err() {
+                return ExitCode::FAILURE;
+            }
         }
         other => {
             eprintln!("unknown experiment {other:?}; see the module docs");

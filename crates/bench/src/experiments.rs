@@ -3,11 +3,14 @@
 use pacstack_acs::security::{self, ViolationKind};
 use pacstack_acs::Masking;
 use pacstack_attacks::{collision, gadget, guessing, offgraph, reuse, rop};
+use pacstack_chaos::campaign::{chaos_module, coverage, TargetCoverage};
+use pacstack_chaos::ChaosError;
 use pacstack_compiler::Scheme;
 use pacstack_exec as exec;
 use pacstack_workloads::measure::{geometric_mean_percent, overhead_percent};
 use pacstack_workloads::nginx::{ssl_tps, TpsResult};
 use pacstack_workloads::spec::{Suite, CPP_BENCHMARKS, C_BENCHMARKS};
+use pacstack_workloads::supervisor::{online_attack_economics, EconomicsRow};
 
 /// Instruction budget for workload runs.
 const BUDGET: u64 = 2_000_000_000;
@@ -712,6 +715,61 @@ pub fn reuse_opportunities() -> Vec<ReuseRow> {
     swept.results
 }
 
+// ---------------------------------------------------------------------------
+// repro faults — fault-injection coverage + supervisor economics
+// ---------------------------------------------------------------------------
+
+/// PAC width for the supervisor economics table (Linux-default-ish 8 bits
+/// keeps compromises observable within a Monte Carlo horizon).
+const FAULTS_PAC_BITS: u32 = 8;
+/// Ticks of useful service per process lifetime in the supervisor model.
+const FAULTS_UPTIME_PER_LIFE: u64 = 50;
+/// Horizon (in ticks) of sustained injection per supervisor trajectory.
+const FAULTS_HORIZON: u64 = 100_000;
+/// Supervisor trajectories per restart policy.
+const FAULTS_SUPERVISOR_TRIALS: u64 = 96;
+
+/// The `repro faults` results: the fault-injection detection-coverage
+/// matrix over every target scheme, plus the crash-restart supervisor
+/// economics replaying the one-guess-per-crash argument (§4.3, §6.2).
+#[derive(Debug, Clone)]
+pub struct FaultsReport {
+    /// Per-target outcome tallies for each fault class.
+    pub coverage: Vec<TargetCoverage>,
+    /// One row per restart policy in `supervisor::POLICIES`.
+    pub economics: Vec<EconomicsRow>,
+    /// The PAC width behind the economics rows.
+    pub b: u32,
+    /// The injection horizon behind the economics rows.
+    pub horizon: u64,
+}
+
+/// Runs the deterministic fault-injection campaign (`trials_per_class`
+/// trials of each fault class against every target scheme) and the
+/// supervised online-attack sweep, both fanned out over the engine pool
+/// and byte-identical at any `--jobs` count.
+///
+/// # Errors
+///
+/// Propagates [`ChaosError`] if a target fails to prepare — a link error
+/// in the chaos module, or a reference run that faults uninjected.
+pub fn faults(trials_per_class: u64, seed: u64) -> Result<FaultsReport, ChaosError> {
+    let coverage = coverage(&chaos_module(), trials_per_class, seed)?;
+    let economics = online_attack_economics(
+        FAULTS_PAC_BITS,
+        FAULTS_UPTIME_PER_LIFE,
+        FAULTS_HORIZON,
+        FAULTS_SUPERVISOR_TRIALS,
+        seed ^ 0x50FE,
+    );
+    Ok(FaultsReport {
+        coverage,
+        economics,
+        b: FAULTS_PAC_BITS,
+        horizon: FAULTS_HORIZON,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,6 +902,38 @@ mod tests {
                 row.measured_mean > row.analytic * 0.6 && row.measured_mean < row.analytic * 1.6,
                 "{row:?}"
             );
+        }
+    }
+
+    #[test]
+    fn faults_matrix_meets_the_acceptance_gate() {
+        // The PR's acceptance property: every PACStack-family scheme
+        // detects return-address bit flips at least as often as the
+        // unprotected build, with zero host-process panics anywhere.
+        let report = faults(6, 0xFA17).unwrap();
+        let unprotected = report
+            .coverage
+            .iter()
+            .find(|t| t.label == "unprotected")
+            .unwrap()
+            .return_address_detection_rate();
+        for target in &report.coverage {
+            assert_eq!(target.host_panics, 0, "{} panicked", target.label);
+            if target.label != "unprotected" {
+                assert!(
+                    target.return_address_detection_rate() >= unprotected,
+                    "{} detects {:.3} < unprotected {:.3}",
+                    target.label,
+                    target.return_address_detection_rate(),
+                    unprotected
+                );
+            }
+        }
+        // Three supervisor policies, each with the §4.3 analytic column.
+        assert_eq!(report.economics.len(), 3);
+        for row in &report.economics {
+            assert_eq!(row.b, FAULTS_PAC_BITS);
+            assert!(row.analytic_guesses_per_success > 0.0);
         }
     }
 }

@@ -2,10 +2,11 @@
 //! paper's tables.
 
 use crate::experiments::{
-    AblationRow, AttackMatrixRow, BirthdayRow, ConfirmRow, Figure5Row, GameRow, GuessingRow,
-    MixRow, PacWidthRow, ReuseRow, Table1Cell, Table2Row, Table3Row,
+    AblationRow, AttackMatrixRow, BirthdayRow, ConfirmRow, FaultsReport, Figure5Row, GameRow,
+    GuessingRow, MixRow, PacWidthRow, ReuseRow, Table1Cell, Table2Row, Table3Row,
 };
 use pacstack_acs::Masking;
+use pacstack_chaos::FaultClass;
 use pacstack_workloads::spec::Suite;
 
 /// Renders Table 1.
@@ -278,6 +279,75 @@ pub fn reuse(rows: &[ReuseRow]) -> String {
     out.push_str(
         "(pac-ret spills SP-signed pointers that coincide; PACStack keeps the signed
  head in CR \u{2014} substituting stored links needs a MAC collision, Table 1)\n",
+    );
+    out
+}
+
+/// Renders the `repro faults` section: the detection-coverage matrix
+/// (rows = fault classes, columns = targets, cells = detected / silent /
+/// masked / hung tallies), the per-target return-address detection
+/// summary, and the crash-restart supervisor economics table.
+pub fn faults(report: &FaultsReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "\u{a7}3/\u{a7}6.2 \u{2014} fault-injection detection coverage (cells: detected/silent/masked/hung)\n",
+    );
+    out.push_str(&format!("{:<12}", "fault class"));
+    for target in &report.coverage {
+        out.push_str(&format!(" {:>16}", target.label));
+    }
+    out.push('\n');
+    for class in FaultClass::ALL {
+        out.push_str(&format!("{:<12}", class.label()));
+        for target in &report.coverage {
+            let c = target.cell(class);
+            out.push_str(&format!(
+                " {:>16}",
+                format!("{}/{}/{}/{}", c.detected, c.silent, c.masked, c.hung)
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nreturn-address detection rate (detected fraction of all cr-, lr- and stack-flips)\n",
+    );
+    for target in &report.coverage {
+        out.push_str(&format!(
+            "{:<18} {:>6.1}%   host panics: {}\n",
+            target.label,
+            target.return_address_detection_rate() * 100.0,
+            target.host_panics
+        ));
+    }
+    out.push_str(&format!(
+        "\n\u{a7}4.3/\u{a7}6.2 \u{2014} crash-restart supervisor economics (b = {}, horizon = {} ticks)\n",
+        report.b, report.horizon
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>14} {:>12} {:>14} {:>10} {:>14}\n",
+        "policy",
+        "trials",
+        "mean guesses",
+        "compromised",
+        "availability",
+        "gave up",
+        "analytic 2^b+1"
+    ));
+    for row in &report.economics {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>14.1} {:>11.1}% {:>13.1}% {:>9.1}% {:>14.0}\n",
+            row.policy.label(),
+            row.trials,
+            row.mean_guesses,
+            row.compromise_rate * 100.0,
+            row.mean_availability * 100.0,
+            row.gave_up_rate * 100.0,
+            row.analytic_guesses_per_success
+        ));
+    }
+    out.push_str(
+        "(one guess per crash: a capped supervisor bounds the budget, backoff collapses
+ the guess rate \u{2014} availability is what the defence spends)\n",
     );
     out
 }

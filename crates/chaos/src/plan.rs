@@ -1,0 +1,280 @@
+//! Seeded injection plans: what to corrupt, and when.
+//!
+//! A plan is pure data derived from a [`TrialRng`] stream, so the same
+//! `(experiment, trial-index)` pair always yields the same plan regardless
+//! of scheduling — the foundation of campaign determinism.
+
+use pacstack_aarch64::Reg;
+use pacstack_exec::TrialRng;
+use rand::Rng;
+use std::fmt;
+
+/// The eight fault classes a campaign cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Bit flips in the chain register CR/X28 — PACStack's `aret`.
+    RegCr,
+    /// Bit flips in the link register LR/X30.
+    RegLr,
+    /// Bit flips in the stack pointer.
+    RegSp,
+    /// Bit flips in a stack-memory word near SP (spilled state, including
+    /// saved return addresses).
+    StackWord,
+    /// Bit flips in one PA key register.
+    KeyCorrupt,
+    /// Mid-run zeroing of all five PA key registers.
+    KeyZero,
+    /// Skipping one instruction (a classic voltage-glitch primitive).
+    InsnSkip,
+    /// Spurious asynchronous signal delivery.
+    Signal,
+}
+
+impl FaultClass {
+    /// All classes, in campaign round-robin order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::RegCr,
+        FaultClass::RegLr,
+        FaultClass::RegSp,
+        FaultClass::StackWord,
+        FaultClass::KeyCorrupt,
+        FaultClass::KeyZero,
+        FaultClass::InsnSkip,
+        FaultClass::Signal,
+    ];
+
+    /// Short column label for the coverage matrix.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::RegCr => "cr-flip",
+            FaultClass::RegLr => "lr-flip",
+            FaultClass::RegSp => "sp-flip",
+            FaultClass::StackWord => "stack-flip",
+            FaultClass::KeyCorrupt => "key-flip",
+            FaultClass::KeyZero => "key-zero",
+            FaultClass::InsnSkip => "insn-skip",
+            FaultClass::Signal => "signal",
+        }
+    }
+
+    /// Whether this class corrupts return-address state (the flips the
+    /// paper's detection argument is about): CR, LR, or spilled stack
+    /// words.
+    pub fn is_return_address(self) -> bool {
+        matches!(
+            self,
+            FaultClass::RegCr | FaultClass::RegLr | FaultClass::StackWord
+        )
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One concrete architectural perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR `mask` into a general-purpose register (or SP).
+    RegFlip {
+        /// The register to corrupt.
+        reg: Reg,
+        /// Bits to flip (1–3 bits set).
+        mask: u64,
+    },
+    /// XOR `mask` into the stack word at `SP + 8 * slot`. A flip landing
+    /// on unmapped memory is a no-op (nothing latched).
+    StackFlip {
+        /// Word index above the current stack pointer.
+        slot: u64,
+        /// Bits to flip (1–3 bits set).
+        mask: u64,
+    },
+    /// XOR masks into one PA key register's two 64-bit halves.
+    KeyFlip {
+        /// Index into [`pacstack_pauth::PaKey::ALL`].
+        key_index: usize,
+        /// Bits to flip in the whitening half.
+        mask_w0: u64,
+        /// Bits to flip in the core half.
+        mask_k0: u64,
+    },
+    /// Zero all five PA key registers.
+    KeyZero,
+    /// Skip the next instruction without executing it.
+    InsnSkip,
+    /// Deliver an asynchronous signal whose handler immediately
+    /// `sigreturn`s.
+    Signal,
+}
+
+/// A perturbation scheduled at a retired-instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Inject when `cpu.instructions()` first reaches this value.
+    pub at: u64,
+    /// What to perturb.
+    pub kind: FaultKind,
+}
+
+/// A full trial plan: one or more injections, sorted by trigger index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InjectionPlan {
+    /// The scheduled perturbations, non-decreasing in `at`.
+    pub injections: Vec<Injection>,
+}
+
+impl InjectionPlan {
+    /// A plan with a single injection.
+    pub fn single(at: u64, kind: FaultKind) -> Self {
+        Self {
+            injections: vec![Injection { at, kind }],
+        }
+    }
+}
+
+/// A random 64-bit mask with 1–3 bits set.
+fn bit_mask(rng: &mut TrialRng) -> u64 {
+    let bits = 1 + rng.gen_range(0..3u32);
+    let mut mask = 0u64;
+    for _ in 0..bits {
+        mask |= 1u64 << rng.gen_range(0..64u32);
+    }
+    mask
+}
+
+/// Draws a concrete [`FaultKind`] for a class.
+pub fn generate_kind(class: FaultClass, rng: &mut TrialRng) -> FaultKind {
+    match class {
+        FaultClass::RegCr => FaultKind::RegFlip {
+            reg: Reg::CR,
+            mask: bit_mask(rng),
+        },
+        FaultClass::RegLr => FaultKind::RegFlip {
+            reg: Reg::LR,
+            mask: bit_mask(rng),
+        },
+        FaultClass::RegSp => FaultKind::RegFlip {
+            reg: Reg::Sp,
+            mask: bit_mask(rng),
+        },
+        FaultClass::StackWord => FaultKind::StackFlip {
+            slot: u64::from(rng.gen_range(0..32u32)),
+            mask: bit_mask(rng),
+        },
+        FaultClass::KeyCorrupt => FaultKind::KeyFlip {
+            key_index: rng.gen_range(0..5u32) as usize,
+            mask_w0: bit_mask(rng),
+            mask_k0: bit_mask(rng),
+        },
+        FaultClass::KeyZero => FaultKind::KeyZero,
+        FaultClass::InsnSkip => FaultKind::InsnSkip,
+        FaultClass::Signal => FaultKind::Signal,
+    }
+}
+
+/// Draws a trigger index in `[0, horizon)`, biased 50% toward the
+/// prologue/epilogue `windows` collected from the reference run — the
+/// adversarially interesting retire points where return-address state is
+/// live in registers.
+pub fn generate_trigger(rng: &mut TrialRng, windows: &[u64], horizon: u64) -> u64 {
+    let horizon = horizon.max(1);
+    if !windows.is_empty() && rng.gen_range(0..2u32) == 0 {
+        windows[rng.gen_range(0..windows.len() as u32) as usize]
+    } else {
+        u64::from(rng.gen_range(0..horizon.min(u64::from(u32::MAX)) as u32))
+    }
+}
+
+/// Draws a multi-injection plan: 1–`max_injections` perturbations across
+/// random classes, each with its own (window-biased) trigger point.
+pub fn generate(
+    rng: &mut TrialRng,
+    max_injections: usize,
+    windows: &[u64],
+    horizon: u64,
+) -> InjectionPlan {
+    let count = 1 + rng.gen_range(0..max_injections.max(1) as u32) as usize;
+    let mut injections: Vec<Injection> = (0..count)
+        .map(|_| {
+            let class = FaultClass::ALL[rng.gen_range(0..8u32) as usize];
+            Injection {
+                at: generate_trigger(rng, windows, horizon),
+                kind: generate_kind(class, rng),
+            }
+        })
+        .collect();
+    injections.sort_by_key(|i| i.at);
+    InjectionPlan { injections }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn masks_have_one_to_three_bits() {
+        let mut rng = TrialRng::new(1, 1);
+        for _ in 0..200 {
+            let m = bit_mask(&mut rng);
+            let ones = m.count_ones();
+            assert!((1..=3).contains(&ones), "{ones} bits in {m:#x}");
+        }
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_the_stream() {
+        let windows = [3, 9, 27];
+        let a = generate(&mut TrialRng::new(5, 77), 4, &windows, 1000);
+        let b = generate(&mut TrialRng::new(5, 77), 4, &windows, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plans_are_sorted_by_trigger() {
+        let mut rng = TrialRng::new(2, 3);
+        for i in 0..50 {
+            let plan = generate(&mut rng, 5, &[10, 20], 500);
+            let ats: Vec<u64> = plan.injections.iter().map(|i| i.at).collect();
+            let mut sorted = ats.clone();
+            sorted.sort_unstable();
+            assert_eq!(ats, sorted, "plan {i} unsorted");
+            assert!(!plan.injections.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_class_generates_its_kind() {
+        let mut rng = TrialRng::new(9, 9);
+        for class in FaultClass::ALL {
+            let kind = generate_kind(class, &mut rng);
+            match class {
+                FaultClass::RegCr | FaultClass::RegLr | FaultClass::RegSp => {
+                    assert!(matches!(kind, FaultKind::RegFlip { .. }));
+                }
+                FaultClass::StackWord => assert!(matches!(kind, FaultKind::StackFlip { .. })),
+                FaultClass::KeyCorrupt => assert!(matches!(kind, FaultKind::KeyFlip { .. })),
+                FaultClass::KeyZero => assert_eq!(kind, FaultKind::KeyZero),
+                FaultClass::InsnSkip => assert_eq!(kind, FaultKind::InsnSkip),
+                FaultClass::Signal => assert_eq!(kind, FaultKind::Signal),
+            }
+        }
+    }
+
+    #[test]
+    fn return_address_classes_are_the_cr_lr_stack_set() {
+        let ra: Vec<FaultClass> = FaultClass::ALL
+            .into_iter()
+            .filter(|c| c.is_return_address())
+            .collect();
+        assert_eq!(
+            ra,
+            vec![FaultClass::RegCr, FaultClass::RegLr, FaultClass::StackWord]
+        );
+    }
+}

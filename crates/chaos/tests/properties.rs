@@ -1,0 +1,64 @@
+//! The chaos engine's core robustness property: *every* randomly generated
+//! injection plan, against every target, yields exactly one classified
+//! outcome and never unwinds the host process.
+//!
+//! The trial body runs under `catch_unwind`; a host panic fails the
+//! property outright — the execution pipeline must report structured
+//! errors ([`Fault`], [`LinkError`]) end to end, no matter what the plan
+//! corrupts.
+
+use pacstack_chaos::{campaign, engine, plan};
+use pacstack_exec::TrialRng;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+/// Targets are prepared once — preparation is deterministic, and sharing
+/// them keeps the property's 256 cases fast.
+fn prepared_targets() -> &'static [engine::PreparedTarget] {
+    static TARGETS: OnceLock<Vec<engine::PreparedTarget>> = OnceLock::new();
+    TARGETS.get_or_init(|| {
+        campaign::prepare_all(&campaign::chaos_module(), 0x0BAD_C0DE)
+            .expect("chaos module prepares under every target")
+    })
+}
+
+proptest! {
+    /// Any multi-injection plan from any RNG stream classifies cleanly on
+    /// every target.
+    #[test]
+    fn every_plan_yields_exactly_one_outcome(stream in any::<u64>(), index in 0u64..1_000_000) {
+        let mut rng = TrialRng::new(stream, index);
+        for prepared in prepared_targets() {
+            let windows = &prepared.reference.windows;
+            let horizon = prepared.reference.instructions;
+            let p = plan::generate(&mut rng, 4, windows, horizon);
+            let outcome = catch_unwind(AssertUnwindSafe(|| prepared.run_plan(&p)));
+            match outcome {
+                Ok(_classified) => {} // exactly one TrialOutcome, by type
+                Err(_) => prop_assert!(
+                    false,
+                    "host panic on target {} with plan {:?}",
+                    prepared.target.label,
+                    p
+                ),
+            }
+        }
+    }
+
+    /// The engine itself is deterministic: the same plan on the same
+    /// prepared target always classifies identically.
+    #[test]
+    fn run_plan_is_deterministic(stream in any::<u64>(), index in 0u64..1_000_000) {
+        let mut rng = TrialRng::new(stream, index);
+        for prepared in prepared_targets() {
+            let p = plan::generate(
+                &mut rng,
+                3,
+                &prepared.reference.windows,
+                prepared.reference.instructions,
+            );
+            prop_assert_eq!(prepared.run_plan(&p), prepared.run_plan(&p));
+        }
+    }
+}

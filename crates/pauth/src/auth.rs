@@ -174,6 +174,8 @@ impl PointerAuth {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn unit() -> (PointerAuth, PaKeys) {

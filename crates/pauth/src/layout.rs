@@ -197,6 +197,8 @@ impl fmt::Display for VaLayout {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -35,6 +35,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The simulator's fault-injection harness requires this crate to be
+// panic-free: authentication failures are data, never aborts.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod auth;
 mod keys;

@@ -19,7 +19,10 @@
 //! * [`confirm`] — the §7.3 ConFIRM-style compatibility suite with a
 //!   pass/fail runner;
 //! * [`synth`] — deterministic random-program generation for fuzzing the
-//!   instrumentation beyond the fixed profiles.
+//!   instrumentation beyond the fixed profiles;
+//! * [`supervisor`] — a crash-restart supervisor model replaying the
+//!   paper's one-guess-per-crash online-attack economics (§4.3, §6.2)
+//!   under always / capped / exponential-backoff restart policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,4 +31,5 @@ pub mod confirm;
 pub mod measure;
 pub mod nginx;
 pub mod spec;
+pub mod supervisor;
 pub mod synth;

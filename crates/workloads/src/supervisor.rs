@@ -1,0 +1,311 @@
+//! A crash-restart supervisor model: the paper's one-guess-per-crash
+//! online-attack economics (§4.3, §6.2) played forward in time.
+//!
+//! PACStack turns return-address forgery into a guessing game: a wrong
+//! `aret` guess crashes the process, and each crash costs the adversary a
+//! fresh process lifetime. How expensive that is in practice depends on
+//! the *supervisor* — the init/systemd-style policy that restarts the
+//! crashed service:
+//!
+//! * [`RestartPolicy::Always`] restarts immediately and forever — maximum
+//!   availability, but it hands the adversary an unbounded guess budget
+//!   (systemd's `Restart=always` with `StartLimitIntervalSec=0`);
+//! * [`RestartPolicy::Capped`] stops restarting after `max_restarts`
+//!   crashes — the attack window is bounded, at the price of an outage
+//!   when the cap trips;
+//! * [`RestartPolicy::ExponentialBackoff`] doubles the restart delay per
+//!   crash up to a ceiling — guesses stay possible but the guess *rate*
+//!   collapses geometrically, which is the standard operational mitigation
+//!   the paper's §6.2 discussion points at.
+//!
+//! [`online_attack_economics`] measures, per policy, how many guesses the
+//! adversary lands within a horizon, how often the service is actually up
+//! (availability degradation under sustained injection), and how the
+//! empirical guess count compares to the §4.3 analytic expectation of
+//! `2^{b+1}` guesses per success against a re-seeded chain.
+
+use pacstack_acs::security;
+use pacstack_exec as exec;
+use rand::RngCore;
+
+/// A supervisor restart policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Restart immediately after every crash, forever.
+    Always,
+    /// Restart at most `max_restarts` times, then give up (service stays
+    /// down).
+    Capped {
+        /// Crashes tolerated before the supervisor stops restarting.
+        max_restarts: u32,
+    },
+    /// Restart with a delay that doubles per consecutive crash, capped at
+    /// `max_delay` ticks.
+    ExponentialBackoff {
+        /// Delay before the first restart, in ticks.
+        base_delay: u64,
+        /// Ceiling on the per-restart delay, in ticks.
+        max_delay: u64,
+    },
+}
+
+impl RestartPolicy {
+    /// Display label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RestartPolicy::Always => "always",
+            RestartPolicy::Capped { .. } => "capped",
+            RestartPolicy::ExponentialBackoff { .. } => "backoff",
+        }
+    }
+
+    /// Downtime (in ticks) the supervisor imposes before restart number
+    /// `restart_index` (0-based), or `None` if it refuses to restart.
+    pub fn delay(self, restart_index: u32) -> Option<u64> {
+        match self {
+            RestartPolicy::Always => Some(1),
+            RestartPolicy::Capped { max_restarts } => (restart_index < max_restarts).then_some(1),
+            RestartPolicy::ExponentialBackoff {
+                base_delay,
+                max_delay,
+            } => {
+                let shift = restart_index.min(63);
+                Some(base_delay.saturating_mul(1u64 << shift).min(max_delay))
+            }
+        }
+    }
+}
+
+/// One supervised-attack trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionTrial {
+    /// Guesses the adversary landed (each cost one process lifetime).
+    pub guesses: u64,
+    /// Whether any guess matched the `b`-bit PAC (attack succeeded).
+    pub compromised: bool,
+    /// Whether the supervisor stopped restarting before the horizon.
+    pub gave_up: bool,
+    /// Ticks the service was up within the horizon.
+    pub uptime: u64,
+    /// Ticks the service was down (restarting or abandoned).
+    pub downtime: u64,
+}
+
+impl SupervisionTrial {
+    /// Fraction of the horizon the service was available.
+    pub fn availability(&self) -> f64 {
+        let total = self.uptime + self.downtime;
+        if total == 0 {
+            1.0
+        } else {
+            self.uptime as f64 / total as f64
+        }
+    }
+}
+
+/// Plays one attack trajectory against a supervised service.
+///
+/// Time is discrete: the service runs for `uptime_per_life` ticks, then the
+/// adversary's forged return lands — one guess, correct with probability
+/// `2^-b` (the chain is re-seeded per §4.3, so crashes teach nothing). A
+/// wrong guess crashes the process; the supervisor then imposes its
+/// restart delay, or the service stays down for the rest of the horizon.
+pub fn run_supervised_attack(
+    policy: RestartPolicy,
+    b: u32,
+    uptime_per_life: u64,
+    horizon: u64,
+    rng: &mut exec::TrialRng,
+) -> SupervisionTrial {
+    let mut trial = SupervisionTrial {
+        guesses: 0,
+        compromised: false,
+        gave_up: false,
+        uptime: 0,
+        downtime: 0,
+    };
+    let threshold = if b >= 64 { 0 } else { u64::MAX >> b };
+    let mut elapsed = 0u64;
+    let mut restarts = 0u32;
+
+    while elapsed < horizon {
+        // A process lifetime of useful service, truncated by the horizon.
+        let up = uptime_per_life.min(horizon - elapsed);
+        trial.uptime += up;
+        elapsed += up;
+        if elapsed >= horizon {
+            break;
+        }
+
+        // The adversary's forged aret arrives: one guess per lifetime.
+        trial.guesses += 1;
+        if rng.next_u64() <= threshold {
+            trial.compromised = true;
+            break;
+        }
+
+        // Wrong guess: crash. The supervisor decides what happens next.
+        match policy.delay(restarts) {
+            Some(delay) => {
+                restarts += 1;
+                let down = delay.min(horizon - elapsed);
+                trial.downtime += down;
+                elapsed += down;
+            }
+            None => {
+                trial.gave_up = true;
+                trial.downtime += horizon - elapsed;
+                break;
+            }
+        }
+    }
+    trial
+}
+
+/// Aggregated economics of one policy under sustained injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EconomicsRow {
+    /// The policy measured.
+    pub policy: RestartPolicy,
+    /// PAC width `b` (bits).
+    pub b: u32,
+    /// Trials run.
+    pub trials: u64,
+    /// Fraction of trials where the adversary's guess landed.
+    pub compromise_rate: f64,
+    /// Mean guesses the adversary got within the horizon.
+    pub mean_guesses: f64,
+    /// Mean service availability over the horizon.
+    pub mean_availability: f64,
+    /// Fraction of trials where a capped supervisor gave up.
+    pub gave_up_rate: f64,
+    /// The §4.3 analytic expectation: `2^{b+1}` guesses per success
+    /// against a re-seeded chain (infinite-horizon reference, same for
+    /// all policies).
+    pub analytic_guesses_per_success: f64,
+}
+
+/// The three policies the `repro faults` supervisor table compares.
+pub const POLICIES: [RestartPolicy; 3] = [
+    RestartPolicy::Always,
+    RestartPolicy::Capped { max_restarts: 32 },
+    RestartPolicy::ExponentialBackoff {
+        base_delay: 2,
+        max_delay: 4096,
+    },
+];
+
+/// Monte Carlo sweep: for each policy in [`POLICIES`], `trials`
+/// trajectories with `b`-bit PACs over `horizon` ticks, fanned out over
+/// the `pacstack-exec` pool (byte-identical at any `--jobs`).
+pub fn online_attack_economics(
+    b: u32,
+    uptime_per_life: u64,
+    horizon: u64,
+    trials: u64,
+    seed: u64,
+) -> Vec<EconomicsRow> {
+    POLICIES
+        .iter()
+        .enumerate()
+        .map(|(p_idx, &policy)| {
+            let stream = seed.wrapping_add(0x5E0 * (p_idx as u64 + 1));
+            let run = exec::run_trials(stream, trials, |_i, rng| {
+                run_supervised_attack(policy, b, uptime_per_life, horizon, rng)
+            });
+            exec::stats::record(format!("supervisor/{}", policy.label()), run.stats);
+            let n = run.results.len().max(1) as f64;
+            let compromised = run.results.iter().filter(|t| t.compromised).count() as f64;
+            let gave_up = run.results.iter().filter(|t| t.gave_up).count() as f64;
+            let guesses: u64 = run.results.iter().map(|t| t.guesses).sum();
+            let availability: f64 = run.results.iter().map(SupervisionTrial::availability).sum();
+            EconomicsRow {
+                policy,
+                b,
+                trials,
+                compromise_rate: compromised / n,
+                mean_guesses: guesses as f64 / n,
+                mean_availability: availability / n,
+                gave_up_rate: gave_up / n,
+                analytic_guesses_per_success: security::expected_guesses_reseeded(b),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn always_restarts_forever_capped_gives_up() {
+        assert_eq!(RestartPolicy::Always.delay(1_000_000), Some(1));
+        let capped = RestartPolicy::Capped { max_restarts: 3 };
+        assert_eq!(capped.delay(2), Some(1));
+        assert_eq!(capped.delay(3), None);
+    }
+
+    #[test]
+    fn backoff_doubles_to_a_ceiling() {
+        let p = RestartPolicy::ExponentialBackoff {
+            base_delay: 2,
+            max_delay: 16,
+        };
+        assert_eq!(p.delay(0), Some(2));
+        assert_eq!(p.delay(1), Some(4));
+        assert_eq!(p.delay(2), Some(8));
+        assert_eq!(p.delay(3), Some(16));
+        assert_eq!(p.delay(10), Some(16)); // capped
+        assert_eq!(p.delay(63), Some(16)); // shift saturation
+    }
+
+    #[test]
+    fn trajectories_are_deterministic_per_stream() {
+        let mut a = exec::TrialRng::new(4, 9);
+        let mut b = exec::TrialRng::new(4, 9);
+        let x = run_supervised_attack(RestartPolicy::Always, 8, 50, 10_000, &mut a);
+        let y = run_supervised_attack(RestartPolicy::Always, 8, 50, 10_000, &mut b);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn zero_bit_pac_compromises_on_first_guess() {
+        // b = 0: every guess succeeds — the unprotected economics.
+        let mut rng = exec::TrialRng::new(1, 1);
+        let t = run_supervised_attack(RestartPolicy::Always, 0, 10, 1_000, &mut rng);
+        assert!(t.compromised);
+        assert_eq!(t.guesses, 1);
+    }
+
+    #[test]
+    fn backoff_grants_fewer_guesses_than_always() {
+        // Deterministic with a wide PAC: no compromise, pure rate contest.
+        let rows = online_attack_economics(32, 10, 100_000, 16, 0xEC0);
+        let always = &rows[0];
+        let backoff = &rows[2];
+        assert!(always.mean_guesses > backoff.mean_guesses);
+        // Backoff trades guesses for downtime.
+        assert!(always.mean_availability >= backoff.mean_availability);
+    }
+
+    #[test]
+    fn capped_supervisor_bounds_the_guess_budget() {
+        let rows = online_attack_economics(32, 10, 1_000_000, 16, 0xEC1);
+        let capped = &rows[1];
+        assert!(capped.mean_guesses <= 33.0); // max_restarts + the final guess
+        assert!(capped.gave_up_rate > 0.0);
+    }
+
+    #[test]
+    fn analytic_column_matches_acs() {
+        let rows = online_attack_economics(8, 10, 1_000, 4, 0xEC2);
+        for row in rows {
+            assert_eq!(
+                row.analytic_guesses_per_success,
+                security::expected_guesses_reseeded(8)
+            );
+        }
+    }
+}

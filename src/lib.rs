@@ -22,7 +22,8 @@
 //! | [`aarch64`] | `pacstack-aarch64` | AArch64-subset simulator: CPU, W⊕X memory, kernel model, cycle costs |
 //! | [`compiler`] | `pacstack-compiler` | Call-graph IR and frame lowering for six return-address protection schemes |
 //! | [`attacks`] | `pacstack-attacks` | The paper's adversary: ROP, reuse, collision harvesting, guessing, signing gadget |
-//! | [`workloads`] | `pacstack-workloads` | SPEC-profile benchmarks and the NGINX SSL-TPS model |
+//! | [`workloads`] | `pacstack-workloads` | SPEC-profile benchmarks, the NGINX SSL-TPS model, and the crash-restart supervisor economics |
+//! | [`chaos`] | `pacstack-chaos` | Deterministic fault-injection engine: seeded glitch plans, classified outcomes, detection-coverage campaigns |
 //!
 //! # Quick start
 //!
@@ -75,6 +76,7 @@
 pub use pacstack_aarch64 as aarch64;
 pub use pacstack_acs as acs;
 pub use pacstack_attacks as attacks;
+pub use pacstack_chaos as chaos;
 pub use pacstack_compiler as compiler;
 pub use pacstack_pauth as pauth;
 pub use pacstack_qarma as qarma;

@@ -90,7 +90,7 @@ fn scheduler_with_huge_quantum_matches_uninterrupted_run() {
     let run = |quantum: u64| {
         let mut cpu = Cpu::with_seed(lower(&m, Scheme::PacStack), 4);
         let mut sched = Scheduler::adopt_main(&cpu);
-        sched.spawn(&mut cpu, "worker", 7);
+        sched.spawn(&mut cpu, "worker", 7).unwrap();
         sched.run_all(&mut cpu, quantum, 100_000).expect("clean")[1]
     };
     assert_eq!(run(10_000_000), run(13)); // no-preemption vs heavy preemption
@@ -106,7 +106,7 @@ fn scheduler_reports_timeout_for_divergent_tasks() {
     ));
     let mut cpu = Cpu::with_seed(lower(&m, Scheme::Baseline), 1);
     let mut sched = Scheduler::adopt_main(&cpu);
-    sched.spawn(&mut cpu, "spinner", 0);
+    sched.spawn(&mut cpu, "spinner", 0).unwrap();
     assert!(sched.run_all(&mut cpu, 100, 10).is_err());
     // The spinner is still live; main may or may not have finished in 10
     // slices, but nothing crashed.

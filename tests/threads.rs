@@ -46,7 +46,7 @@ fn preempted_pacstack_threads_complete_correctly() {
         let solo = |entry: &str| {
             let mut cpu = Cpu::with_seed(lower(&threaded_module(), scheme), 12);
             let mut sched = Scheduler::adopt_main(&cpu);
-            sched.spawn(&mut cpu, entry, 0x1111);
+            sched.spawn(&mut cpu, entry, 0x1111).unwrap();
             sched
                 .run_all(&mut cpu, 1_000_000, 100)
                 .expect("solo run clean")[1]
@@ -57,8 +57,8 @@ fn preempted_pacstack_threads_complete_correctly() {
         // Interleaved run with a tiny quantum: dozens of context switches.
         let mut cpu = Cpu::with_seed(lower(&threaded_module(), scheme), 12);
         let mut sched = Scheduler::adopt_main(&cpu);
-        sched.spawn(&mut cpu, "worker_a", 0x1111);
-        sched.spawn(&mut cpu, "worker_b", 0x2222);
+        sched.spawn(&mut cpu, "worker_a", 0x1111).unwrap();
+        sched.spawn(&mut cpu, "worker_b", 0x2222).unwrap();
         let exits = sched
             .run_all(&mut cpu, 40, 10_000)
             .unwrap_or_else(|f| panic!("{scheme}: {f}"));
@@ -95,7 +95,7 @@ fn thread_chains_are_disjoint_when_reseeded() {
         ));
         let mut cpu = Cpu::with_seed(lower(&m, Scheme::PacStack), 9);
         let mut sched = Scheduler::adopt_main(&cpu);
-        sched.spawn(&mut cpu, "probe", seed);
+        sched.spawn(&mut cpu, "probe", seed).unwrap();
         // Run: main exits, then probe runs to its checkpoint (treated as a
         // yield); CR is live in the cpu at that moment.
         let _ = sched.run_all(&mut cpu, 100_000, 4);
@@ -112,7 +112,7 @@ fn suspended_thread_registers_survive_memory_scribbling() {
     // adversary with full memory write access cannot influence them.
     let mut cpu = Cpu::with_seed(lower(&threaded_module(), Scheme::PacStack), 12);
     let mut sched = Scheduler::adopt_main(&cpu);
-    sched.spawn(&mut cpu, "worker_a", 0x1111);
+    sched.spawn(&mut cpu, "worker_a", 0x1111).unwrap();
 
     // Run a few slices, then scribble over every writable region the
     // adversary could reach *except the live stacks* (which they may
