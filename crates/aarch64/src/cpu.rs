@@ -104,6 +104,49 @@ pub struct Outcome {
 ///
 /// # Examples
 ///
+/// One slot of the direct-mapped PAC memo cache: the last MAC computed for a
+/// `(key, canonical pointer, modifier)` triple that hashed to this index.
+///
+/// `epoch` tags the entry with the value of [`Cpu`]'s key epoch at fill time;
+/// `0` never matches a live epoch, so zeroed slots are empty. The epoch (not
+/// the key material) is what invalidates the whole cache on `set_keys` /
+/// `corrupt_keys` in O(1), including the case where the new `PaKeys` happens
+/// to carry the same generation counter as the old one.
+#[derive(Debug, Clone, Copy, Default)]
+struct PacSlot {
+    epoch: u64,
+    key: u8,
+    pointer: u64,
+    modifier: u64,
+    pac: u64,
+}
+
+/// Number of slots in the PAC memo cache. Direct-mapped; 256 slots cover the
+/// working set of return-address signatures for call depths far beyond what
+/// the workloads reach, at ~10 KiB per CPU.
+const PAC_CACHE_SLOTS: usize = 256;
+
+/// Cache tag for `pacga` entries. `pacga` truncates differently from the
+/// pointer PACs (upper 32 bits, not `pac_bits`), so its entries must never
+/// alias a hypothetical pointer-PAC under the GA key (tag 4).
+const PACGA_TAG: u8 = 5;
+
+fn pac_slot_index(key_tag: u8, pointer: u64, modifier: u64) -> usize {
+    let mixed =
+        (pointer ^ modifier.rotate_left(32) ^ key_tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> 56) as usize
+}
+
+fn pac_key_tag(key: PaKey) -> u8 {
+    match key {
+        PaKey::Ia => 0,
+        PaKey::Ib => 1,
+        PaKey::Da => 2,
+        PaKey::Db => 3,
+        PaKey::Ga => 4,
+    }
+}
+
 /// A return-address overwrite faulting under `retaa` (pac-ret):
 ///
 /// ```
@@ -120,7 +163,7 @@ pub struct Outcome {
 /// let mut cpu = Cpu::with_seed(p, 1);
 /// assert!(matches!(cpu.run(100), Err(Fault::TranslationFault { .. })));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cpu {
     regs: RegisterFile,
     pc: u64,
@@ -135,6 +178,18 @@ pub struct Cpu {
     /// injection); lets authentication failures surface as
     /// [`Fault::KeyFault`] instead of a generic mismatch.
     keys_tainted: bool,
+    /// Direct-mapped memo of recently computed PACs; see [`PacSlot`].
+    pac_cache: Box<[PacSlot; PAC_CACHE_SLOTS]>,
+    /// Monotonic key epoch, starting at 1 and bumped on *every* key-register
+    /// write — legitimate (`set_keys`) or glitched (`corrupt_keys`) — so a
+    /// key change can never be answered from a stale [`PacSlot`].
+    key_epoch: u64,
+    /// Whether the PAC memo cache is consulted at all. Disabled when
+    /// `PACSTACK_REFERENCE_PAC` pins the process to the pre-optimisation
+    /// pipeline, and togglable for differential testing and benchmarking.
+    pac_memo: bool,
+    /// `(hits, misses)` on the PAC memo cache, for the perf harness.
+    pac_cache_stats: (u64, u64),
     cost: CostModel,
     cycles: u64,
     instructions: u64,
@@ -143,6 +198,67 @@ pub struct Cpu {
     trace: Option<crate::trace::Trace>,
     pac_log: Option<Vec<(u64, u64)>>,
     bti: bool,
+}
+
+// Manual impl so snapshot restores can reuse allocations: `clone_from`
+// copies the memory image, instruction image and PAC memo into the buffers
+// the destination already owns. Fault-injection campaigns restore a base
+// snapshot before every trial, and with the derived impl that restore cost
+// was dominated by mapping and unmapping the ~3 MiB of fresh segments.
+// Every field must appear in BOTH methods; the struct-literal `clone`
+// keeps the list compiler-checked when fields are added.
+impl Clone for Cpu {
+    fn clone(&self) -> Self {
+        Self {
+            regs: self.regs.clone(),
+            pc: self.pc,
+            flags: self.flags,
+            mem: self.mem.clone(),
+            image: self.image.clone(),
+            code_base: self.code_base,
+            symbols: self.symbols.clone(),
+            pa: self.pa,
+            keys: self.keys.clone(),
+            keys_tainted: self.keys_tainted,
+            pac_cache: self.pac_cache.clone(),
+            key_epoch: self.key_epoch,
+            pac_memo: self.pac_memo,
+            pac_cache_stats: self.pac_cache_stats,
+            cost: self.cost,
+            cycles: self.cycles,
+            instructions: self.instructions,
+            counters: self.counters,
+            output: self.output.clone(),
+            trace: self.trace.clone(),
+            pac_log: self.pac_log.clone(),
+            bti: self.bti,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.regs.clone_from(&source.regs);
+        self.pc = source.pc;
+        self.flags = source.flags;
+        self.mem.clone_from(&source.mem);
+        self.image.clone_from(&source.image);
+        self.code_base = source.code_base;
+        self.symbols.clone_from(&source.symbols);
+        self.pa = source.pa;
+        self.keys.clone_from(&source.keys);
+        self.keys_tainted = source.keys_tainted;
+        self.pac_cache.clone_from(&source.pac_cache);
+        self.key_epoch = source.key_epoch;
+        self.pac_memo = source.pac_memo;
+        self.pac_cache_stats = source.pac_cache_stats;
+        self.cost = source.cost;
+        self.cycles = source.cycles;
+        self.instructions = source.instructions;
+        self.counters = source.counters;
+        self.output.clone_from(&source.output);
+        self.trace.clone_from(&source.trace);
+        self.pac_log.clone_from(&source.pac_log);
+        self.bti = source.bti;
+    }
 }
 
 impl Cpu {
@@ -215,6 +331,10 @@ impl Cpu {
             pa,
             keys,
             keys_tainted: false,
+            pac_cache: Box::new([PacSlot::default(); PAC_CACHE_SLOTS]),
+            key_epoch: 1,
+            pac_memo: !pacstack_pauth::reference_pac_forced(),
+            pac_cache_stats: (0, 0),
             cost,
             cycles: 0,
             instructions: 0,
@@ -297,6 +417,7 @@ impl Cpu {
     pub fn set_keys(&mut self, keys: PaKeys) {
         self.keys = keys;
         self.keys_tainted = false;
+        self.key_epoch += 1;
     }
 
     /// Overwrites the PA keys *as a fault*, not as kernel policy: models a
@@ -306,6 +427,11 @@ impl Cpu {
     pub fn corrupt_keys(&mut self, keys: PaKeys) {
         self.keys = keys;
         self.keys_tainted = true;
+        // A glitch invalidates the memo exactly like a re-key: any PAC cached
+        // under the old keys must recompute, so post-corruption `aut*` fails
+        // against the *new* (wrong) keys and is attributed as a KeyFault
+        // rather than silently passing off a stale cached MAC.
+        self.key_epoch += 1;
     }
 
     /// Whether the PA keys were corrupted via [`Cpu::corrupt_keys`] and not
@@ -413,15 +539,100 @@ impl Cpu {
         self.flags.v = ((a ^ b) & (a ^ result)) >> 63 == 1;
     }
 
+    /// Enables or disables the PAC memo cache. Architecturally invisible:
+    /// the cache only ever replays MACs the PA unit would recompute
+    /// identically, so outcomes, outputs and cycle counts do not depend on
+    /// this switch — a property the test suite pins differentially.
+    pub fn set_pac_memo(&mut self, enabled: bool) {
+        self.pac_memo = enabled;
+        if !enabled {
+            *self.pac_cache = [PacSlot::default(); PAC_CACHE_SLOTS];
+        }
+    }
+
+    /// `(hits, misses)` recorded by the PAC memo cache since construction.
+    pub fn pac_cache_stats(&self) -> (u64, u64) {
+        self.pac_cache_stats
+    }
+
+    /// The raw PAC for `(key, pointer, modifier)`, answered from the memo
+    /// cache when possible. Entries are keyed on the canonical address (PAC
+    /// field stripped), so `pac*` followed by `aut*` of the signed pointer is
+    /// a hit, and tagged with the key epoch so no key write can be bridged.
+    fn cached_pac(&mut self, key: PaKey, pointer: u64, modifier: u64) -> u64 {
+        if !self.pac_memo {
+            return self.pa.compute_pac(&self.keys, key, pointer, modifier);
+        }
+        let canonical = self.pa.strip(pointer);
+        let tag = pac_key_tag(key);
+        let idx = pac_slot_index(tag, canonical, modifier);
+        let slot = &self.pac_cache[idx];
+        if slot.epoch == self.key_epoch
+            && slot.key == tag
+            && slot.pointer == canonical
+            && slot.modifier == modifier
+        {
+            self.pac_cache_stats.0 += 1;
+            return slot.pac;
+        }
+        self.pac_cache_stats.1 += 1;
+        let pac = self.pa.compute_pac(&self.keys, key, canonical, modifier);
+        self.pac_cache[idx] = PacSlot {
+            epoch: self.key_epoch,
+            key: tag,
+            pointer: canonical,
+            modifier,
+            pac,
+        };
+        pac
+    }
+
+    /// `pacga` through the memo cache. Uses a tag outside the key-register
+    /// range because `pacga` hashes the full 64-bit operand (no
+    /// canonicalisation) and truncates to the upper 32 bits.
+    fn cached_pacga(&mut self, x: u64, y: u64) -> u64 {
+        if !self.pac_memo {
+            return self.pa.pacga(&self.keys, x, y);
+        }
+        let idx = pac_slot_index(PACGA_TAG, x, y);
+        let slot = &self.pac_cache[idx];
+        if slot.epoch == self.key_epoch
+            && slot.key == PACGA_TAG
+            && slot.pointer == x
+            && slot.modifier == y
+        {
+            self.pac_cache_stats.0 += 1;
+            return slot.pac;
+        }
+        self.pac_cache_stats.1 += 1;
+        let pac = self.pa.pacga(&self.keys, x, y);
+        self.pac_cache[idx] = PacSlot {
+            epoch: self.key_epoch,
+            key: PACGA_TAG,
+            pointer: x,
+            modifier: y,
+            pac,
+        };
+        pac
+    }
+
+    /// `pac*`-style signing through the memo cache: compute (or replay) the
+    /// MAC, then insert it with the architectural poison-bit semantics.
+    fn sign_with(&mut self, key: PaKey, pointer: u64, modifier: u64) -> u64 {
+        let pac = self.cached_pac(key, pointer, modifier);
+        self.pa.sign_with_pac(pac, pointer)
+    }
+
     /// Performs an `aut*`-style authentication, honouring the configured
     /// failure mode: in FPAC mode a failure faults immediately; otherwise
     /// the corrupted pointer is produced and will fault on use.
-    fn authenticate(&self, pointer: u64, modifier: u64) -> Result<u64, Fault> {
+    fn authenticate(&mut self, pointer: u64, modifier: u64) -> Result<u64, Fault> {
         self.authenticate_with(PaKey::Ia, pointer, modifier)
     }
 
-    fn authenticate_with(&self, key: PaKey, pointer: u64, modifier: u64) -> Result<u64, Fault> {
-        match self.pa.aut(&self.keys, key, pointer, modifier) {
+    fn authenticate_with(&mut self, key: PaKey, pointer: u64, modifier: u64) -> Result<u64, Fault> {
+        let expected = self.cached_pac(key, pointer, modifier);
+        match self.pa.verify_with_pac(expected, pointer, key) {
             Ok(p) => Ok(p),
             // Failures under glitched key registers are attributable to the
             // key material itself; surfacing them as a distinct fault keeps
@@ -450,17 +661,6 @@ impl Cpu {
         use Instruction::*;
         let insn = self.fetch()?;
         self.cycles += self.cost.cost(&insn);
-        // Accesses through the shadow-stack pointer hit a distant region
-        // with worse locality than the hot stack.
-        if let Instruction::StrPost(_, base, _)
-        | Instruction::LdrPre(_, base, _)
-        | Instruction::Ldr(_, base, _)
-        | Instruction::Str(_, base, _) = insn
-        {
-            if base == Reg::SCS {
-                self.cycles += self.cost.shadow_penalty;
-            }
-        }
         self.instructions += 1;
         {
             use Instruction::*;
@@ -513,11 +713,20 @@ impl Cpu {
             CmpImm(n, imm) => self.set_flags_from_cmp(self.regs.read(n), imm as u64),
 
             Ldr(t, n, off) => {
+                // Accesses through the shadow-stack pointer hit a distant
+                // region with worse locality than the hot stack (charged even
+                // if the access then faults, matching the fetch-time model).
+                if n == Reg::SCS {
+                    self.cycles += self.cost.shadow_penalty;
+                }
                 let addr = self.regs.read(n).wrapping_add(off as u64);
                 let v = self.mem.read_u64(addr)?;
                 self.regs.write(t, v);
             }
             Str(t, n, off) => {
+                if n == Reg::SCS {
+                    self.cycles += self.cost.shadow_penalty;
+                }
                 let addr = self.regs.read(n).wrapping_add(off as u64);
                 self.mem.write_u64(addr, self.regs.read(t))?;
             }
@@ -528,6 +737,9 @@ impl Cpu {
                 self.regs.write(n, addr.wrapping_add(off as u64));
             }
             LdrPre(t, n, off) => {
+                if n == Reg::SCS {
+                    self.cycles += self.cost.shadow_penalty;
+                }
                 let addr = self.regs.read(n).wrapping_add(off as u64);
                 let v = self.mem.read_u64(addr)?;
                 self.regs.write(t, v);
@@ -539,6 +751,9 @@ impl Cpu {
                 self.regs.write(n, addr);
             }
             StrPost(t, n, off) => {
+                if n == Reg::SCS {
+                    self.cycles += self.cost.shadow_penalty;
+                }
                 let addr = self.regs.read(n);
                 self.mem.write_u64(addr, self.regs.read(t))?;
                 self.regs.write(n, addr.wrapping_add(off as u64));
@@ -591,9 +806,7 @@ impl Cpu {
             Ret => next_pc = self.regs.read(Reg::LR),
 
             Pacia(d, n) => {
-                let signed =
-                    self.pa
-                        .pac(&self.keys, PaKey::Ia, self.regs.read(d), self.regs.read(n));
+                let signed = self.sign_with(PaKey::Ia, self.regs.read(d), self.regs.read(n));
                 self.regs.write(d, signed);
             }
             Autia(d, n) => {
@@ -601,9 +814,7 @@ impl Cpu {
                 self.regs.write(d, v);
             }
             Pacib(d, n) => {
-                let signed =
-                    self.pa
-                        .pac(&self.keys, PaKey::Ib, self.regs.read(d), self.regs.read(n));
+                let signed = self.sign_with(PaKey::Ib, self.regs.read(d), self.regs.read(n));
                 self.regs.write(d, signed);
             }
             Autib(d, n) => {
@@ -613,7 +824,7 @@ impl Cpu {
             Paciasp => {
                 let (value, modifier) = (self.regs.read(Reg::LR), self.regs.read(Reg::Sp));
                 self.log_pac(modifier, value);
-                let signed = self.pa.pac(&self.keys, PaKey::Ia, value, modifier);
+                let signed = self.sign_with(PaKey::Ia, value, modifier);
                 self.regs.write(Reg::LR, signed);
             }
             Autiasp => {
@@ -626,12 +837,8 @@ impl Cpu {
                 next_pc = v;
             }
             Pacibsp => {
-                let signed = self.pa.pac(
-                    &self.keys,
-                    PaKey::Ib,
-                    self.regs.read(Reg::LR),
-                    self.regs.read(Reg::Sp),
-                );
+                let signed =
+                    self.sign_with(PaKey::Ib, self.regs.read(Reg::LR), self.regs.read(Reg::Sp));
                 self.regs.write(Reg::LR, signed);
             }
             Retab => {
@@ -649,9 +856,7 @@ impl Cpu {
                 self.regs.write(d, v);
             }
             Pacga(d, n, m) => {
-                let v = self
-                    .pa
-                    .pacga(&self.keys, self.regs.read(n), self.regs.read(m));
+                let v = self.cached_pacga(self.regs.read(n), self.regs.read(m));
                 self.regs.write(d, v);
             }
 
@@ -874,6 +1079,79 @@ mod tests {
         cpu.corrupt_keys(PaKeys::from_seed(999));
         assert!(cpu.keys_tainted());
         assert!(matches!(cpu.run(100), Err(Fault::KeyFault { .. })));
+    }
+
+    #[test]
+    fn key_corruption_is_never_bridged_by_the_pac_memo() {
+        // Warm the memo with a sign + authenticate of the same (LR, SP)
+        // pair, sign again (a guaranteed cache hit), then glitch the keys:
+        // the final authenticate must recompute under the new keys and fail
+        // as a KeyFault — a stale cached MAC would make it succeed.
+        let mut p = Program::new();
+        p.function("main", vec![Paciasp, Autiasp, Paciasp, Svc(40), Retaa]);
+        let mut cpu = Cpu::with_seed(p, 7);
+        let out = cpu.run(100).unwrap();
+        assert_eq!(out.status, RunStatus::Syscall(40));
+        let (hits, _) = cpu.pac_cache_stats();
+        assert!(hits >= 2, "memo never hit; the test exercises nothing");
+        cpu.corrupt_keys(PaKeys::from_seed(999));
+        assert!(matches!(cpu.run(100), Err(Fault::KeyFault { .. })));
+    }
+
+    #[test]
+    fn rekeying_also_invalidates_the_pac_memo() {
+        // set_keys (legitimate re-key) must invalidate like corrupt_keys
+        // does — even when the replacement PaKeys carries the same
+        // generation counter as the old instance.
+        let mut p = Program::new();
+        p.function("main", vec![Paciasp, Svc(40), Retaa]);
+        let mut cpu = Cpu::with_seed(p, 7);
+        let out = cpu.run(100).unwrap();
+        assert_eq!(out.status, RunStatus::Syscall(40));
+        cpu.set_keys(PaKeys::from_seed(999)); // same generation (0) as before
+        assert!(!cpu.keys_tainted());
+        // Not a KeyFault (no taint), but it must *fail* — success would mean
+        // the memo replayed a MAC from the previous key epoch.
+        assert!(cpu.run(100).is_err());
+    }
+
+    #[test]
+    fn pac_memo_is_architecturally_invisible() {
+        // Same program, memo on vs off: identical outcome, output, cycles
+        // and instruction counts.
+        let build = || {
+            use crate::program::Op;
+            let mut p = Program::new();
+            p.function_ops(
+                "main",
+                vec![
+                    Op::I(MovImm(Reg::X1, 5)),
+                    // loop: sign/auth LR repeatedly, emit a MAC each pass
+                    Op::Label("loop".into()),
+                    Op::I(Paciasp),
+                    Op::I(Autiasp),
+                    Op::I(Pacga(Reg::X0, Reg::X30, Reg::Sp)),
+                    Op::I(Svc(1)),
+                    Op::I(AddImm(Reg::X1, Reg::X1, -1)),
+                    Op::JumpNonZero(Reg::X1, "loop".into()),
+                    Op::I(MovImm(Reg::X0, 0)),
+                    Op::I(Ret),
+                ],
+            );
+            p
+        };
+        let mut fast = Cpu::with_seed(build(), 3);
+        let mut slow = Cpu::with_seed(build(), 3);
+        slow.set_pac_memo(false);
+        let a = fast.run(10_000).unwrap();
+        let b = slow.run(10_000).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(fast.output(), slow.output());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        let (hits, _) = fast.pac_cache_stats();
+        assert!(hits > 0, "fast CPU never hit the memo");
+        assert_eq!(slow.pac_cache_stats(), (0, 0));
     }
 
     #[test]

@@ -50,11 +50,31 @@ pub enum Perms {
     ReadWrite,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Segment {
     base: u64,
     perms: Perms,
     bytes: Vec<u8>,
+}
+
+// Manual impl so `clone_from` copies into the existing byte buffer instead
+// of remapping it: segments are megabytes each, and per-trial snapshot
+// restores (fault injection) would otherwise spend their time in the
+// allocator rather than in the simulation.
+impl Clone for Segment {
+    fn clone(&self) -> Self {
+        Self {
+            base: self.base,
+            perms: self.perms,
+            bytes: self.bytes.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.base = source.base;
+        self.perms = source.perms;
+        self.bytes.clone_from(&source.bytes);
+    }
 }
 
 impl Segment {
@@ -81,10 +101,27 @@ impl Segment {
 /// assert!(mem.write_u64(LAYOUT.code_base, 0).is_err()); // W^X
 /// # Ok::<(), pacstack_aarch64::Fault>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Memory {
     layout: VaLayout,
     segments: Vec<Segment>,
+}
+
+// Manual impl for the same reason as [`Segment`]: `Vec::clone_from` clones
+// element-wise, so restoring a snapshot into an existing `Memory` of the
+// same shape reuses every segment allocation.
+impl Clone for Memory {
+    fn clone(&self) -> Self {
+        Self {
+            layout: self.layout,
+            segments: self.segments.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.layout = source.layout;
+        self.segments.clone_from(&source.segments);
+    }
 }
 
 impl Memory {

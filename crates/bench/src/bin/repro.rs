@@ -16,7 +16,13 @@
 //! repro reuse      §6.1      interchangeable signed pointers per scheme
 //! repro faults     §3/§6.2   fault-injection coverage matrix + supervisor economics
 //! repro all        everything above
+//! repro perf       before/after PAC fast-path benchmarks (not part of `all`)
 //! ```
+//!
+//! `repro perf` accepts `--quick` (a fast smoke variant for CI) and
+//! `--out <file>` (where to write the bench JSON; default `BENCH_pr3.json`).
+//! It re-executes this binary with `PACSTACK_REFERENCE_PAC=1` to time the
+//! pre-optimisation pipeline and byte-compares the two arms' stdout.
 //!
 //! Add `--save <dir>` to also write each section to `<dir>/<name>.txt`
 //! (artifact-evaluation style).
@@ -28,7 +34,7 @@
 //! merge in index order. Per-experiment throughput/occupancy statistics go
 //! to stderr, never stdout, so saved tables stay reproducible.
 
-use pacstack_bench::{exec, experiments, render};
+use pacstack_bench::{exec, experiments, perf, render};
 use std::env;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -135,9 +141,19 @@ fn run_faults(save: &Option<PathBuf>) -> Result<(), ()> {
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
     let mut save: Option<PathBuf> = None;
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--save" {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--out" {
+            let Some(path) = args.next() else {
+                eprintln!("--out needs a file path");
+                return ExitCode::FAILURE;
+            };
+            out = Some(PathBuf::from(path));
+        } else if arg == "--save" {
             let Some(dir) = args.next() else {
                 eprintln!("--save needs a directory");
                 return ExitCode::FAILURE;
@@ -179,6 +195,13 @@ fn main() -> ExitCode {
         "reuse" => run_reuse(&save),
         "faults" => {
             if run_faults(&save).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+        "perf" => {
+            let out = out.unwrap_or_else(|| PathBuf::from("BENCH_pr3.json"));
+            if let Err(e) = perf::run(quick, &out) {
+                eprintln!("perf harness failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

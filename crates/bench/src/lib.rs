@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod render;
 
 pub use pacstack_exec as exec;

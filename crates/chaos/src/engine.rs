@@ -7,7 +7,16 @@ use pacstack_aarch64::{Cpu, Fault, Instruction, LinkError, Reg, RunStatus};
 use pacstack_compiler::{lower, Module, Scheme};
 use pacstack_pauth::PaKey;
 use pacstack_qarma::Key128;
+use std::cell::RefCell;
 use std::fmt;
+
+thread_local! {
+    /// Per-thread scratch CPU reused across trials. Restoring the base
+    /// snapshot with `clone_from` copies into the scratch's existing
+    /// allocations; cloning afresh per trial would map and unmap the ~3 MiB
+    /// of memory segments every time, which dominated campaign wall time.
+    static SCRATCH: RefCell<Option<Cpu>> = const { RefCell::new(None) };
+}
 
 /// A protection configuration under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,7 +137,8 @@ pub struct Reference {
 }
 
 /// A target compiled, seeded and profiled, ready for injected trials.
-/// Cloning the base CPU per trial is cheap (images are shared vectors).
+/// Trials restore the base CPU into a per-thread scratch with `clone_from`,
+/// so the per-trial snapshot cost is a straight memory copy.
 #[derive(Debug, Clone)]
 pub struct PreparedTarget {
     /// The configuration this was prepared for.
@@ -274,8 +284,28 @@ fn apply(
 impl PreparedTarget {
     /// Runs one injected trial to its classified outcome. Never panics:
     /// every termination path maps to a [`TrialOutcome`].
+    ///
+    /// The trial executes on this thread's scratch CPU, restored to the
+    /// prepared base snapshot first — `clone_from` makes the restore an
+    /// in-place copy, so consecutive trials do no allocator work. Restores
+    /// have full `Clone` semantics, so outcomes are independent of whatever
+    /// trial (of whatever target) previously used the scratch.
     pub fn run_plan(&self, plan: &InjectionPlan) -> TrialOutcome {
-        let mut cpu = self.base.clone();
+        SCRATCH.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let cpu = match slot.as_mut() {
+                Some(cpu) => {
+                    cpu.clone_from(&self.base);
+                    cpu
+                }
+                None => slot.insert(self.base.clone()),
+            };
+            self.run_plan_on(cpu, plan)
+        })
+    }
+
+    /// The trial loop proper, on an already-restored CPU.
+    fn run_plan_on(&self, cpu: &mut Cpu, plan: &InjectionPlan) -> TrialOutcome {
         let mut signals = SignalDelivery::new();
         let mut pending = plan.injections.as_slice();
 
@@ -288,7 +318,7 @@ impl PreparedTarget {
                     break;
                 }
                 pending = &pending[1..];
-                if let Err(fault) = apply(&mut cpu, &mut signals, self.handler, injection.kind) {
+                if let Err(fault) = apply(cpu, &mut signals, self.handler, injection.kind) {
                     return TrialOutcome::DetectedCrash(fault);
                 }
             }
@@ -308,7 +338,7 @@ impl PreparedTarget {
                     };
                 }
                 Ok(Some(RunStatus::Syscall(SIGRETURN_SYSCALL))) => {
-                    if let Err(fault) = signals.sigreturn(&mut cpu) {
+                    if let Err(fault) = signals.sigreturn(cpu) {
                         return TrialOutcome::DetectedCrash(fault);
                     }
                 }
@@ -382,6 +412,31 @@ mod tests {
                 assert!(matches!(fault, Fault::KeyFault { .. }), "got {fault}");
             }
             other => panic!("expected a detected crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn key_flip_is_never_masked_by_the_pac_memo_cache() {
+        // Regression for the PAC memo cache: corrupting a key register
+        // mid-run must invalidate every cached MAC, so the next `aut*`
+        // recomputes under the glitched keys and attributes the failure to
+        // them. A stale cache hit would instead report Masked — the cache
+        // silently bridging a hardware fault.
+        let p = prepared("PACStack");
+        let mid = p.reference.instructions / 2;
+        let plan = InjectionPlan::single(
+            mid,
+            FaultKind::KeyFlip {
+                key_index: 0, // IA — the key PACStack signs with
+                mask_w0: 1,
+                mask_k0: 0,
+            },
+        );
+        match p.run_plan(&plan) {
+            TrialOutcome::DetectedCrash(fault) => {
+                assert!(matches!(fault, Fault::KeyFault { .. }), "got {fault}");
+            }
+            other => panic!("expected a detected KeyFault crash, got {other}"),
         }
     }
 

@@ -1,9 +1,23 @@
 //! The `pac*` / `aut*` / `xpac` / `pacga` operations.
 
 use crate::{PaKey, PaKeys, VaLayout};
-use pacstack_qarma::Qarma64;
+use pacstack_qarma::{reference, Sigma};
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Whether the process is pinned to the pre-optimisation PAC pipeline: the
+/// cell-based QARMA reference path with the key schedule re-derived per call,
+/// and (honoured separately by the CPU model) no PAC memoisation.
+///
+/// Controlled by setting the `PACSTACK_REFERENCE_PAC` environment variable
+/// before the first PAC computation; read once and latched. This is the
+/// honest "before" arm of the `repro perf` harness — both arms produce
+/// byte-identical experiment output, which the perf harness verifies.
+pub fn reference_pac_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var_os("PACSTACK_REFERENCE_PAC").is_some())
+}
 
 /// How `aut*` reports a verification failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -100,9 +114,27 @@ impl PointerAuth {
     /// the canonical address), so the result depends only on the address
     /// bits, tag and modifier.
     pub fn compute_pac(&self, keys: &PaKeys, key: PaKey, pointer: u64, modifier: u64) -> u64 {
-        let cipher = Qarma64::recommended(keys.key(key));
+        if reference_pac_forced() {
+            return self.compute_pac_reference(keys, key, pointer, modifier);
+        }
         let canonical = self.layout.canonical(pointer & !self.layout.pac_mask());
-        let mac = cipher.encrypt(canonical, modifier);
+        let mac = keys.cipher(key).encrypt(canonical, modifier);
+        mac & ((1u64 << self.layout.pac_bits()) - 1)
+    }
+
+    /// [`PointerAuth::compute_pac`] through the cell-based reference cipher,
+    /// re-deriving the key schedule per call — the pre-optimisation cost
+    /// profile, kept as the differential oracle and the perf harness's
+    /// "before" arm. Always returns the same value as `compute_pac`.
+    pub fn compute_pac_reference(
+        &self,
+        keys: &PaKeys,
+        key: PaKey,
+        pointer: u64,
+        modifier: u64,
+    ) -> u64 {
+        let canonical = self.layout.canonical(pointer & !self.layout.pac_mask());
+        let mac = reference::encrypt(keys.key(key), Sigma::Sigma1, 7, canonical, modifier);
         mac & ((1u64 << self.layout.pac_bits()) - 1)
     }
 
@@ -114,7 +146,13 @@ impl PointerAuth {
     /// the architectural behaviour that the Project Zero signing gadget
     /// abuses (paper §6.3.1).
     pub fn pac(&self, keys: &PaKeys, key: PaKey, pointer: u64, modifier: u64) -> u64 {
-        let pac = self.compute_pac(keys, key, pointer, modifier);
+        self.sign_with_pac(self.compute_pac(keys, key, pointer, modifier), pointer)
+    }
+
+    /// The insertion half of `pac*`, given an already computed PAC value —
+    /// the entry point for callers (the CPU's PAC memo cache) that obtained
+    /// the MAC elsewhere. `pac()` is exactly `sign_with_pac(compute_pac(..))`.
+    pub fn sign_with_pac(&self, pac: u64, pointer: u64) -> u64 {
         let signed = self.layout.insert_pac(self.strip(pointer), pac);
         if self.layout.is_canonical(pointer) {
             signed
@@ -151,7 +189,22 @@ impl PointerAuth {
         pointer: u64,
         modifier: u64,
     ) -> Result<u64, AuthError> {
-        let expected = self.compute_pac(keys, key, pointer, modifier);
+        self.verify_with_pac(self.compute_pac(keys, key, pointer, modifier), pointer, key)
+    }
+
+    /// The comparison half of `aut*`, given the expected PAC value — the
+    /// entry point for callers (the CPU's PAC memo cache) that obtained the
+    /// MAC elsewhere. `aut()` is exactly `verify_with_pac(compute_pac(..))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] exactly as [`PointerAuth::aut`] does.
+    pub fn verify_with_pac(
+        &self,
+        expected: u64,
+        pointer: u64,
+        key: PaKey,
+    ) -> Result<u64, AuthError> {
         if self.layout.extract_pac(pointer) == expected && self.non_pac_bits_canonical(pointer) {
             Ok(self.strip(pointer))
         } else {
@@ -167,8 +220,11 @@ impl PointerAuth {
     /// `pacga` — the generic MAC: returns `H_GA(x, y)` in the upper 32 bits
     /// of the result, lower 32 bits zero, as the architecture specifies.
     pub fn pacga(&self, keys: &PaKeys, x: u64, y: u64) -> u64 {
-        let cipher = Qarma64::recommended(keys.key(PaKey::Ga));
-        cipher.encrypt(x, y) & 0xFFFF_FFFF_0000_0000
+        if reference_pac_forced() {
+            return reference::encrypt(keys.key(PaKey::Ga), Sigma::Sigma1, 7, x, y)
+                & 0xFFFF_FFFF_0000_0000;
+        }
+        keys.cipher(PaKey::Ga).encrypt(x, y) & 0xFFFF_FFFF_0000_0000
     }
 }
 
@@ -282,6 +338,36 @@ mod tests {
         // Deterministic and input-sensitive.
         assert_eq!(mac, pa.pacga(&keys, 0x1234, 0x5678));
         assert_ne!(mac, pa.pacga(&keys, 0x1235, 0x5678));
+    }
+
+    #[test]
+    fn cached_cipher_pac_matches_reference_pac() {
+        // The cached-schedule fast path and the rebuild-per-call reference
+        // path are the same MAC — the invariant the whole caching layer
+        // rests on.
+        let (pa, keys) = unit();
+        for key in [PaKey::Ia, PaKey::Ib, PaKey::Da, PaKey::Db, PaKey::Ga] {
+            for i in 0..32u64 {
+                let ptr = PTR.wrapping_add(i * 40);
+                let modifier = i.wrapping_mul(0x9E37_79B9);
+                assert_eq!(
+                    pa.compute_pac(&keys, key, ptr, modifier),
+                    pa.compute_pac_reference(&keys, key, ptr, modifier),
+                    "{key} diverged at i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_key_takes_effect_on_the_cached_path() {
+        // A key write must change the MACs immediately — no stale cipher.
+        let (pa, mut keys) = unit();
+        let before = pa.compute_pac(&keys, PaKey::Ia, PTR, 7);
+        keys.set_key(PaKey::Ia, pacstack_qarma::Key128::new(0xFEED, 0xBEEF));
+        let after = pa.compute_pac(&keys, PaKey::Ia, PTR, 7);
+        assert_ne!(before, after);
+        assert_eq!(after, pa.compute_pac_reference(&keys, PaKey::Ia, PTR, 7));
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! and user space (EL0) cannot read or write them — the property the
 //! PACStack adversary model relies on.
 
-use pacstack_qarma::Key128;
+use pacstack_qarma::{Key128, Qarma64};
 use rand::Rng;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Selects one of the five architectural PA keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,9 +73,35 @@ impl fmt::Display for PaKey {
 /// let child = keys.clone();
 /// assert_eq!(child.key(PaKey::Ia), keys.key(PaKey::Ia));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct PaKeys {
     keys: [Key128; 5],
+    /// One fully scheduled QARMA7-64-σ1 instance per key register, rebuilt
+    /// eagerly on every key write so `pac*`/`aut*`/`pacga` never re-derive a
+    /// key schedule on the hot path. Corrupted keys rebuild through the same
+    /// route — a glitched register yields a real (wrong) cipher, which is
+    /// what preserves `Fault::KeyFault` attribution downstream.
+    ciphers: [Qarma64; 5],
+    /// Bumped on every key write; PAC memo caches key their entries on this
+    /// so stale MACs can never survive a re-key or a key-corruption fault.
+    generation: u64,
+}
+
+// Identity is the architectural register contents alone: the ciphers are a
+// pure function of the keys, and the generation counter is cache-coherency
+// metadata, not key material.
+impl PartialEq for PaKeys {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys
+    }
+}
+
+impl Eq for PaKeys {}
+
+impl Hash for PaKeys {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.keys.hash(state);
+    }
 }
 
 impl PaKeys {
@@ -85,7 +112,11 @@ impl PaKeys {
         for key in &mut keys {
             *key = Key128::new(rng.gen(), rng.gen());
         }
-        Self { keys }
+        Self {
+            ciphers: keys.map(Qarma64::recommended),
+            keys,
+            generation: 0,
+        }
     }
 
     /// Generates keys deterministically from a seed — convenient for tests
@@ -101,9 +132,26 @@ impl PaKeys {
         self.keys[key.index()]
     }
 
-    /// Replaces one key register (kernel-only operation in the model).
+    /// Replaces one key register (kernel-only operation in the model),
+    /// rebuilding its scheduled cipher and bumping the generation counter.
     pub fn set_key(&mut self, key: PaKey, value: Key128) {
         self.keys[key.index()] = value;
+        self.ciphers[key.index()] = Qarma64::recommended(value);
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// The scheduled cipher for one key register — always coherent with
+    /// [`PaKeys::key`], because every key write rebuilds it.
+    pub fn cipher(&self, key: PaKey) -> &Qarma64 {
+        &self.ciphers[key.index()]
+    }
+
+    /// Monotonic count of key writes to this register file. Two values from
+    /// the *same* `PaKeys` differ iff a key was written in between; caches
+    /// combining it with their own instance tracking get precise
+    /// invalidation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -136,6 +184,40 @@ mod tests {
         keys.set_key(PaKey::Ia, Key128::new(1, 2));
         assert_eq!(keys.key(PaKey::Ia), Key128::new(1, 2));
         assert_eq!(keys.key(PaKey::Ib), old_ib);
+    }
+
+    #[test]
+    fn cached_ciphers_stay_coherent_with_keys() {
+        let mut keys = PaKeys::from_seed(3);
+        for key in PaKey::ALL {
+            assert_eq!(keys.cipher(key).key(), keys.key(key), "{key}");
+        }
+        keys.set_key(PaKey::Da, Key128::new(0xAA, 0xBB));
+        assert_eq!(keys.cipher(PaKey::Da).key(), Key128::new(0xAA, 0xBB));
+        assert_eq!(keys.cipher(PaKey::Db).key(), keys.key(PaKey::Db));
+    }
+
+    #[test]
+    fn generation_counts_key_writes() {
+        let mut keys = PaKeys::from_seed(3);
+        let g0 = keys.generation();
+        keys.set_key(PaKey::Ia, Key128::new(1, 2));
+        assert_ne!(keys.generation(), g0);
+        let g1 = keys.generation();
+        keys.set_key(PaKey::Ia, Key128::new(1, 2)); // same value still bumps
+        assert_ne!(keys.generation(), g1);
+    }
+
+    #[test]
+    fn equality_ignores_generation_metadata() {
+        let mut a = PaKeys::from_seed(5);
+        let b = PaKeys::from_seed(5);
+        // Rewrite an identical value: generation moves, identity must not.
+        let ia = a.key(PaKey::Ia);
+        a.set_key(PaKey::Ia, ia);
+        assert_eq!(a, b);
+        a.set_key(PaKey::Ia, Key128::new(9, 9));
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! The QARMA-64 cipher proper: whitened forward rounds, a central reflector,
 //! and backward rounds, all parameterised by S-box choice and round count.
+//!
+//! [`Qarma64::encrypt`]/[`Qarma64::decrypt`] run the packed-nibble fast path
+//! over a key schedule precomputed in [`Qarma64::with_key`]; the original
+//! cell-based data path survives as [`Qarma64::encrypt_reference`]/
+//! [`Qarma64::decrypt_reference`] (see the [`crate::reference`] module) and
+//! the two are pinned against each other by a differential proptest suite.
 
-use crate::cells::{from_cells, mix_columns, permute, sub_cells, to_cells, Cells};
-use crate::constants::{ALPHA, ROUND_CONSTANTS, SIGMA0, SIGMA1, SIGMA2, SIGMA2_INV, TAU, TAU_INV};
-use crate::tweak::{backward_update, forward_update};
-use crate::Key128;
+use crate::constants::{SIGMA0, SIGMA1, SIGMA2, SIGMA2_INV};
+use crate::packed::{
+    mt, reflector, sub_bytes, tinv_m, tweak_fwd, SIGMA0_BYTES, SIGMA1_BYTES, SIGMA2_BYTES,
+    SIGMA2_INV_BYTES,
+};
+use crate::schedule::{DirSchedule, Schedule};
+use crate::{reference, Key128};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Which of QARMA's three published 4-bit S-boxes to use.
 ///
@@ -23,7 +33,7 @@ pub enum Sigma {
 }
 
 impl Sigma {
-    fn table(self) -> &'static [u8; 16] {
+    pub(crate) fn table(self) -> &'static [u8; 16] {
         match self {
             Sigma::Sigma0 => &SIGMA0,
             Sigma::Sigma1 => &SIGMA1,
@@ -31,11 +41,27 @@ impl Sigma {
         }
     }
 
-    fn inverse_table(self) -> &'static [u8; 16] {
+    pub(crate) fn inverse_table(self) -> &'static [u8; 16] {
         match self {
             Sigma::Sigma0 => &SIGMA0,
             Sigma::Sigma1 => &SIGMA1,
             Sigma::Sigma2 => &SIGMA2_INV,
+        }
+    }
+
+    fn byte_table(self) -> &'static [u8; 256] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0_BYTES,
+            Sigma::Sigma1 => &SIGMA1_BYTES,
+            Sigma::Sigma2 => &SIGMA2_BYTES,
+        }
+    }
+
+    fn inverse_byte_table(self) -> &'static [u8; 256] {
+        match self {
+            Sigma::Sigma0 => &SIGMA0_BYTES,
+            Sigma::Sigma1 => &SIGMA1_BYTES,
+            Sigma::Sigma2 => &SIGMA2_INV_BYTES,
         }
     }
 }
@@ -52,6 +78,10 @@ impl fmt::Display for Sigma {
 
 /// A QARMA-64 instance: a 128-bit key, an S-box choice and `r` forward rounds.
 ///
+/// Construction precomputes the full two-direction key schedule (`w1`, the
+/// per-round tweakeys, the reflector keys), so `encrypt`/`decrypt` touch no
+/// key-derivation code — build an instance once per key and reuse it.
+///
 /// The paper's recommended parameterisations are `r = 5` with σ0, `r = 7`
 /// with σ1, and `r = 11` with σ2. [`Qarma64::recommended`] builds the σ1/r=7
 /// instance used as ARM's PAC reference.
@@ -65,11 +95,31 @@ impl fmt::Display for Sigma {
 /// let c = cipher.encrypt(0xdead_beef, 42);
 /// assert_eq!(cipher.decrypt(c, 42), 0xdead_beef);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy)]
 pub struct Qarma64 {
     key: Key128,
     sigma: Sigma,
     rounds: usize,
+    schedule: Schedule,
+}
+
+// The schedule is a pure function of (key, sigma, rounds), so identity is
+// decided by the parameters alone — comparing or hashing the derived tables
+// would only re-state the same information more slowly.
+impl PartialEq for Qarma64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.sigma == other.sigma && self.rounds == other.rounds
+    }
+}
+
+impl Eq for Qarma64 {}
+
+impl Hash for Qarma64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+        self.sigma.hash(state);
+        self.rounds.hash(state);
+    }
 }
 
 impl Qarma64 {
@@ -83,17 +133,23 @@ impl Qarma64 {
         Self::with_key(Key128::new(w0, k0), sigma, rounds)
     }
 
-    /// Creates a cipher from a [`Key128`], an S-box and a round count.
+    /// Creates a cipher from a [`Key128`], an S-box and a round count,
+    /// precomputing the key schedule for both directions.
     ///
     /// # Panics
     ///
     /// Panics if `rounds` is 0 or greater than 8.
     pub fn with_key(key: Key128, sigma: Sigma, rounds: usize) -> Self {
         assert!(
-            (1..=ROUND_CONSTANTS.len()).contains(&rounds),
+            (1..=crate::constants::ROUND_CONSTANTS.len()).contains(&rounds),
             "QARMA-64 supports 1..=8 forward rounds, got {rounds}"
         );
-        Self { key, sigma, rounds }
+        Self {
+            key,
+            sigma,
+            rounds,
+            schedule: Schedule::new(key),
+        }
     }
 
     /// The σ1, r = 7 instance — QARMA7-64-σ1, ARM's PAC reference.
@@ -116,73 +172,48 @@ impl Qarma64 {
         self.rounds
     }
 
-    /// Derived whitening key `w1 = (w0 ⋙ 1) ⊕ (w0 ≫ 63)`.
-    fn w1(&self) -> u64 {
-        let w0 = self.key.w0();
-        w0.rotate_right(1) ^ (w0 >> 63)
-    }
+    /// The shared packed data path: whitened forward rounds, central
+    /// reflector, backward rounds, over one direction's precomputed
+    /// schedule. The tweak sequence is computed once on the way forward and
+    /// reused on the way back (the backward rounds consume the same values
+    /// in reverse), and no `[u8; 16]` cell array is ever materialised.
+    fn crypt_packed(&self, block: u64, tweak: u64, ks: &DirSchedule) -> u64 {
+        let sb = self.sigma.byte_table();
+        let sb_inv = self.sigma.inverse_byte_table();
+        let r = self.rounds;
 
-    /// The decryption reflector key `Q · k0`.
-    fn k1(&self) -> u64 {
-        from_cells(&mix_columns(&to_cells(self.key.k0())))
-    }
-
-    /// One forward round: add tweakey, then (unless `short`) ShuffleCells and
-    /// MixColumns, then SubCells.
-    fn forward(&self, state: u64, tweakey: u64, short: bool) -> u64 {
-        let mut cells = to_cells(state ^ tweakey);
-        if !short {
-            cells = mix_columns(&permute(&cells, &TAU));
-        }
-        from_cells(&sub_cells(&cells, self.sigma.table()))
-    }
-
-    /// One backward round: inverse SubCells, then (unless `short`) inverse
-    /// MixColumns and inverse ShuffleCells, then add tweakey.
-    fn backward(&self, state: u64, tweakey: u64, short: bool) -> u64 {
-        let mut cells = sub_cells(&to_cells(state), self.sigma.inverse_table());
-        if !short {
-            cells = permute(&mix_columns(&cells), &TAU_INV);
-        }
-        from_cells(&cells) ^ tweakey
-    }
-
-    /// The central pseudo-reflector: τ, multiply by the involutory Q = M,
-    /// add the reflector key, τ⁻¹.
-    fn reflect(&self, state: u64, k1: u64) -> u64 {
-        let shuffled = permute(&to_cells(state), &TAU);
-        let mut mixed: Cells = mix_columns(&shuffled);
-        let key_cells = to_cells(k1);
-        for (m, k) in mixed.iter_mut().zip(key_cells.iter()) {
-            *m ^= k;
-        }
-        from_cells(&permute(&mixed, &TAU_INV))
-    }
-
-    /// The shared data path: whitened forward rounds, central reflector,
-    /// backward rounds. Encryption and decryption differ only in the key
-    /// schedule fed in here.
-    fn crypt(&self, block: u64, tweak: u64, w0: u64, w1: u64, k0: u64, k1: u64) -> u64 {
-        let mut state = block ^ w0;
-        let mut t = tweak;
-        for (i, constant) in ROUND_CONSTANTS.iter().enumerate().take(self.rounds) {
-            state = self.forward(state, k0 ^ t ^ constant, i == 0);
-            t = forward_update(t);
+        let mut ts = [0u64; 9];
+        ts[0] = tweak;
+        for i in 1..=r {
+            ts[i] = tweak_fwd(ts[i - 1]);
         }
 
-        state = self.forward(state, w1 ^ t, false);
-        state = self.reflect(state, k1);
-        state = self.backward(state, w0 ^ t, false);
-
-        for i in (0..self.rounds).rev() {
-            t = backward_update(t);
-            state = self.backward(state, k0 ^ t ^ ROUND_CONSTANTS[i] ^ ALPHA, i == 0);
+        let mut state = block ^ ks.w_in;
+        // Round 0 is the short round: no ShuffleCells/MixColumns.
+        state = sub_bytes(state ^ ks.fwd_key[0] ^ ts[0], sb);
+        for (&k, &t) in ks.fwd_key[1..r].iter().zip(&ts[1..r]) {
+            state = sub_bytes(mt(state ^ k ^ t), sb);
         }
 
-        state ^ w1
+        let t_mid = ts[r];
+        state = sub_bytes(mt(state ^ ks.w_out ^ t_mid), sb);
+        state = reflector(state) ^ ks.reflect_key;
+        state = tinv_m(sub_bytes(state, sb_inv)) ^ ks.w_in ^ t_mid;
+
+        for i in (1..r).rev() {
+            state = tinv_m(sub_bytes(state, sb_inv)) ^ ks.bwd_key[i] ^ ts[i];
+        }
+        state = sub_bytes(state, sb_inv) ^ ks.bwd_key[0] ^ ts[0];
+
+        state ^ ks.w_out
     }
 
     /// Encrypts one 64-bit block under the given 64-bit tweak.
+    ///
+    /// On x86-64 CPUs with SSSE3 this dispatches to the vectorised data path
+    /// (`pshufb` permutations and S-boxes); everywhere else it runs the
+    /// portable packed-nibble SWAR path. Both are differentially pinned
+    /// against the cell-based reference and always agree.
     ///
     /// # Examples
     ///
@@ -193,14 +224,17 @@ impl Qarma64 {
     /// assert_eq!(cipher.encrypt(0xfb623599da6e8127, 0x477d469dec0b8762), 0x3ee99a6c82af0c38);
     /// ```
     pub fn encrypt(&self, plaintext: u64, tweak: u64) -> u64 {
-        self.crypt(
-            plaintext,
-            tweak,
-            self.key.w0(),
-            self.w1(),
-            self.key.k0(),
-            self.key.k0(),
-        )
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::available() {
+            return crate::simd::crypt(
+                plaintext,
+                tweak,
+                &self.schedule.enc,
+                self.sigma,
+                self.rounds,
+            );
+        }
+        self.crypt_packed(plaintext, tweak, &self.schedule.enc)
     }
 
     /// Decrypts one 64-bit block under the given 64-bit tweak.
@@ -209,16 +243,29 @@ impl Qarma64 {
     /// encryption under a transformed key schedule: the whitening keys swap
     /// roles, α is folded into the core key, and the reflector key is reused.
     pub fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64 {
-        // The inverse of the central reflector keyed with k1 = k0 is the
-        // reflector keyed with Q·k0 (Q = M is involutory).
-        self.crypt(
-            ciphertext,
-            tweak,
-            self.w1(),
-            self.key.w0(),
-            self.key.k0() ^ ALPHA,
-            self.k1(),
-        )
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::available() {
+            return crate::simd::crypt(
+                ciphertext,
+                tweak,
+                &self.schedule.dec,
+                self.sigma,
+                self.rounds,
+            );
+        }
+        self.crypt_packed(ciphertext, tweak, &self.schedule.dec)
+    }
+
+    /// Encrypts through the cell-based reference path (the differential
+    /// oracle; see [`crate::reference`]).
+    pub fn encrypt_reference(&self, plaintext: u64, tweak: u64) -> u64 {
+        reference::encrypt(self.key, self.sigma, self.rounds, plaintext, tweak)
+    }
+
+    /// Decrypts through the cell-based reference path (the differential
+    /// oracle; see [`crate::reference`]).
+    pub fn decrypt_reference(&self, ciphertext: u64, tweak: u64) -> u64 {
+        reference::decrypt(self.key, self.sigma, self.rounds, ciphertext, tweak)
     }
 }
 
@@ -273,6 +320,52 @@ mod tests {
     }
 
     #[test]
+    fn packed_path_matches_reference_path_on_vectors() {
+        for sigma in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            for rounds in 1..=8 {
+                let cipher = Qarma64::new(W0, K0, sigma, rounds);
+                let c = cipher.encrypt(PLAINTEXT, TWEAK);
+                assert_eq!(
+                    c,
+                    cipher.encrypt_reference(PLAINTEXT, TWEAK),
+                    "encrypt diverged for {sigma} r={rounds}"
+                );
+                assert_eq!(
+                    cipher.decrypt(c, TWEAK),
+                    cipher.decrypt_reference(c, TWEAK),
+                    "decrypt diverged for {sigma} r={rounds}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swar_path_matches_dispatched_path() {
+        // On SIMD-capable hosts `encrypt` takes the vector path, which would
+        // leave the portable SWAR fallback untested — pin them against each
+        // other explicitly (and against the reference) on every host.
+        for sigma in [Sigma::Sigma0, Sigma::Sigma1, Sigma::Sigma2] {
+            for rounds in 1..=8 {
+                let cipher = Qarma64::new(W0, K0, sigma, rounds);
+                for i in 0..16u64 {
+                    let p = PLAINTEXT.wrapping_mul(i | 1);
+                    let t = TWEAK.wrapping_add(i);
+                    assert_eq!(
+                        cipher.crypt_packed(p, t, &cipher.schedule.enc),
+                        cipher.encrypt(p, t),
+                        "enc SWAR diverged for {sigma} r={rounds} i={i}"
+                    );
+                    assert_eq!(
+                        cipher.crypt_packed(p, t, &cipher.schedule.dec),
+                        cipher.decrypt(p, t),
+                        "dec SWAR diverged for {sigma} r={rounds} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn different_tweaks_give_different_ciphertexts() {
         let cipher = Qarma64::recommended(Key128::new(W0, K0));
         assert_ne!(cipher.encrypt(PLAINTEXT, 0), cipher.encrypt(PLAINTEXT, 1));
@@ -283,6 +376,19 @@ mod tests {
         let a = Qarma64::recommended(Key128::new(W0, K0));
         let b = Qarma64::recommended(Key128::new(W0 ^ 1, K0));
         assert_ne!(a.encrypt(PLAINTEXT, TWEAK), b.encrypt(PLAINTEXT, TWEAK));
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_the_derived_schedule() {
+        use std::collections::HashSet;
+        let a = Qarma64::new(W0, K0, Sigma::Sigma1, 7);
+        let b = Qarma64::recommended(Key128::new(W0, K0));
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert_ne!(a, Qarma64::new(W0, K0, Sigma::Sigma1, 6));
+        assert_ne!(a, Qarma64::new(W0, K0, Sigma::Sigma2, 7));
     }
 
     #[test]
@@ -297,29 +403,5 @@ mod tests {
         assert_eq!(cipher.sigma(), Sigma::Sigma1);
         assert_eq!(cipher.rounds(), 7);
         assert_eq!(cipher.encrypt(PLAINTEXT, TWEAK), 0xedf67ff370a483f2);
-    }
-}
-
-#[cfg(test)]
-mod debug_tests {
-    use super::*;
-
-    #[test]
-    fn forward_backward_are_inverses() {
-        let cipher = Qarma64::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9, Sigma::Sigma1, 7);
-        let x = 0xfb623599da6e8127u64;
-        let tk = 0x1234_5678_9abc_def0u64;
-        for short in [true, false] {
-            let y = cipher.forward(x, tk, short);
-            assert_eq!(cipher.backward(y, tk, short), x, "short={short}");
-        }
-    }
-
-    #[test]
-    fn reflect_is_involution_with_zero_key() {
-        let cipher = Qarma64::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9, Sigma::Sigma1, 7);
-        let x = 0xfb623599da6e8127u64;
-        let y = cipher.reflect(x, 0);
-        assert_eq!(cipher.reflect(y, 0), x);
     }
 }

@@ -24,12 +24,20 @@
 //! assert_eq!(cipher.decrypt(ciphertext, 0x477d469dec0b8762), 0xfb623599da6e8127);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one place: the
+// `simd` module, whose SSSE3 intrinsics need a `#[target_feature]` context.
+// Every other module is unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cells;
 mod cipher;
 mod constants;
+mod packed;
+pub mod reference;
+mod schedule;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 mod tweak;
 
 pub use cipher::{Qarma64, Sigma};
