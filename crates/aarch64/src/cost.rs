@@ -7,7 +7,7 @@
 //! assigns each instruction class a fixed cost so instrumentation overhead
 //! can be compared across schemes as a cycle ratio.
 
-use crate::Instruction;
+use crate::{Instruction, Reg};
 
 /// Per-class cycle costs.
 ///
@@ -51,20 +51,42 @@ impl CostModel {
         }
     }
 
-    /// Cycles charged for one instruction.
+    /// Cycles charged for one instruction. This is the *single* authority
+    /// on cycle accounting: the CPU adds exactly this value per retired
+    /// instruction, so execution traces, telemetry and the perf harness all
+    /// read one consistent counter.
     ///
     /// `retaa` combines an authentication and a return and is charged
-    /// `pointer_auth + base`.
+    /// `pointer_auth + base`. Accesses whose base register is the
+    /// shadow-stack pointer carry `shadow_penalty` on top of the memory
+    /// latency (charged at fetch time, even if the access then faults) —
+    /// the addressing mode is static, so the surcharge is a property of the
+    /// instruction, not of dynamic state.
     pub fn cost(&self, insn: &Instruction) -> u64 {
         use Instruction::*;
         match insn {
             Retaa => self.pointer_auth + self.base,
             i if i.is_pointer_auth() => self.pointer_auth,
+            i if Self::is_shadow_access(i) => self.memory + self.shadow_penalty,
             i if i.is_memory() => self.memory,
             Mul(..) => self.multiply,
             Svc(..) => self.syscall,
             _ => self.base,
         }
+    }
+
+    /// Whether an instruction accesses memory through the shadow-stack
+    /// pointer in one of the addressing modes the instrumentation emits
+    /// (plain, pre-indexed push, post-indexed pop).
+    pub fn is_shadow_access(insn: &Instruction) -> bool {
+        use Instruction::*;
+        matches!(
+            insn,
+            Ldr(_, Reg::SCS, _)
+                | Str(_, Reg::SCS, _)
+                | LdrPre(_, Reg::SCS, _)
+                | StrPost(_, Reg::SCS, _)
+        )
     }
 }
 
@@ -102,6 +124,20 @@ mod tests {
             m.cost(&Instruction::Stp(Reg::X29, Reg::X30, Reg::Sp, -16)),
             2
         );
+    }
+
+    #[test]
+    fn shadow_stack_accesses_carry_the_penalty() {
+        let m = CostModel::default();
+        assert_eq!(m.cost(&Instruction::Str(Reg::X30, Reg::SCS, 0)), 4);
+        assert_eq!(m.cost(&Instruction::LdrPre(Reg::X30, Reg::SCS, -8)), 4);
+        assert_eq!(m.cost(&Instruction::StrPost(Reg::X30, Reg::SCS, 8)), 4);
+        // Non-shadow bases are plain memory ops.
+        assert_eq!(m.cost(&Instruction::Str(Reg::X30, Reg::Sp, 0)), 2);
+        // Addressing modes the instrumentation never uses against the
+        // shadow stack stay at memory latency.
+        assert_eq!(m.cost(&Instruction::StrPre(Reg::X30, Reg::SCS, -8)), 2);
+        assert_eq!(m.cost(&Instruction::LdrPost(Reg::X30, Reg::SCS, 8)), 2);
     }
 
     #[test]

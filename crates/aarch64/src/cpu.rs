@@ -1,10 +1,14 @@
 //! The CPU interpreter.
 
 use crate::memory::LAYOUT;
+use crate::profile::{FunctionProfile, Profiler};
 use crate::program::LinkError;
 use crate::regs::RegisterFile;
+use crate::trace::TraceEntry;
 use crate::{Cond, CostModel, Fault, Instruction, Memory, Program, Reg};
 use pacstack_pauth::{AuthFailure, PaKey, PaKeys, PointerAuth, VaLayout};
+use pacstack_telemetry as telemetry;
+use pacstack_telemetry::Ring;
 use std::collections::HashMap;
 
 /// NZCV condition flags.
@@ -194,10 +198,30 @@ pub struct Cpu {
     cycles: u64,
     instructions: u64,
     counters: InsnCounters,
+    /// Memory accesses through the shadow-stack pointer (always counted,
+    /// like `pac_cache_stats`; the cycle surcharge itself is part of
+    /// [`CostModel::cost`]).
+    shadow_accesses: u64,
     output: Vec<u64>,
-    trace: Option<crate::trace::Trace>,
+    trace: Option<Ring<TraceEntry>>,
+    profiler: Option<Box<Profiler>>,
+    /// Watermark of what [`Cpu::publish_telemetry`] has already emitted, so
+    /// resumed runs publish deltas exactly once.
+    tmark: TelemetryMark,
     pac_log: Option<Vec<(u64, u64)>>,
     bti: bool,
+}
+
+/// Snapshot of the monotonic performance counters at the last telemetry
+/// publish.
+#[derive(Debug, Clone, Copy, Default)]
+struct TelemetryMark {
+    cycles: u64,
+    instructions: u64,
+    counters: InsnCounters,
+    pac_hits: u64,
+    pac_misses: u64,
+    shadow_accesses: u64,
 }
 
 // Manual impl so snapshot restores can reuse allocations: `clone_from`
@@ -228,8 +252,11 @@ impl Clone for Cpu {
             cycles: self.cycles,
             instructions: self.instructions,
             counters: self.counters,
+            shadow_accesses: self.shadow_accesses,
             output: self.output.clone(),
             trace: self.trace.clone(),
+            profiler: self.profiler.clone(),
+            tmark: self.tmark,
             pac_log: self.pac_log.clone(),
             bti: self.bti,
         }
@@ -254,8 +281,11 @@ impl Clone for Cpu {
         self.cycles = source.cycles;
         self.instructions = source.instructions;
         self.counters = source.counters;
+        self.shadow_accesses = source.shadow_accesses;
         self.output.clone_from(&source.output);
         self.trace.clone_from(&source.trace);
+        self.profiler.clone_from(&source.profiler);
+        self.tmark = source.tmark;
         self.pac_log.clone_from(&source.pac_log);
         self.bti = source.bti;
     }
@@ -339,8 +369,11 @@ impl Cpu {
             cycles: 0,
             instructions: 0,
             counters: InsnCounters::default(),
+            shadow_accesses: 0,
             output: Vec::new(),
             trace: None,
+            profiler: None,
+            tmark: TelemetryMark::default(),
             pac_log: None,
             bti: false,
         })
@@ -494,12 +527,32 @@ impl Cpu {
 
     /// Enables execution tracing into a ring buffer of `capacity` entries.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(crate::trace::Trace::new(capacity));
+        self.trace = Some(Ring::new(capacity));
     }
 
     /// The execution trace, if tracing is enabled.
-    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+    pub fn trace(&self) -> Option<&Ring<TraceEntry>> {
         self.trace.as_ref()
+    }
+
+    /// Enables per-function cycle attribution, rooted at the current PC.
+    /// Completed call spans beyond `max_spans` are counted as dropped
+    /// rather than recorded, bounding memory on call-heavy workloads.
+    pub fn enable_profile(&mut self, max_spans: usize) {
+        self.profiler = Some(Box::new(Profiler::new(self.pc, self.cycles, max_spans)));
+    }
+
+    /// Finishes profiling and returns the attribution, or `None` if
+    /// [`Cpu::enable_profile`] was never called. Open frames are closed at
+    /// the current cycle count and addresses resolve via the symbol table.
+    pub fn take_profile(&mut self) -> Option<FunctionProfile> {
+        let profiler = self.profiler.take()?;
+        Some(profiler.finish(self.cycles, &self.symbols))
+    }
+
+    /// Memory accesses made through the shadow-stack pointer so far.
+    pub fn shadow_accesses(&self) -> u64 {
+        self.shadow_accesses
     }
 
     /// Starts recording every return-address *signing* event as a
@@ -678,11 +731,26 @@ impl Cpu {
             }
         }
         if let Some(trace) = &mut self.trace {
-            trace.record(crate::trace::TraceEntry {
+            trace.record(TraceEntry {
                 pc: self.pc,
                 insn,
                 cycles: self.cycles,
             });
+        }
+        if let Some(prof) = &mut self.profiler {
+            // Attribute this instruction's (fully charged) cost to the
+            // frame that issued it, then move the frame stack: calls are
+            // charged to the caller, returns to the returning function.
+            prof.attribute(self.cycles);
+            match insn {
+                Bl(target) => prof.enter(target, self.cycles),
+                Blr(n) => {
+                    let target = self.regs.read(n);
+                    prof.enter(target, self.cycles);
+                }
+                Ret | Retaa | Retab => prof.exit(self.cycles),
+                _ => {}
+            }
         }
         let mut next_pc = self.pc.wrapping_add(4);
 
@@ -714,10 +782,11 @@ impl Cpu {
 
             Ldr(t, n, off) => {
                 // Accesses through the shadow-stack pointer hit a distant
-                // region with worse locality than the hot stack (charged even
-                // if the access then faults, matching the fetch-time model).
+                // region with worse locality than the hot stack; the cycle
+                // surcharge is part of `CostModel::cost` (charged at fetch,
+                // even if the access then faults), so here we only count.
                 if n == Reg::SCS {
-                    self.cycles += self.cost.shadow_penalty;
+                    self.shadow_accesses += 1;
                 }
                 let addr = self.regs.read(n).wrapping_add(off as u64);
                 let v = self.mem.read_u64(addr)?;
@@ -725,7 +794,7 @@ impl Cpu {
             }
             Str(t, n, off) => {
                 if n == Reg::SCS {
-                    self.cycles += self.cost.shadow_penalty;
+                    self.shadow_accesses += 1;
                 }
                 let addr = self.regs.read(n).wrapping_add(off as u64);
                 self.mem.write_u64(addr, self.regs.read(t))?;
@@ -738,7 +807,7 @@ impl Cpu {
             }
             LdrPre(t, n, off) => {
                 if n == Reg::SCS {
-                    self.cycles += self.cost.shadow_penalty;
+                    self.shadow_accesses += 1;
                 }
                 let addr = self.regs.read(n).wrapping_add(off as u64);
                 let v = self.mem.read_u64(addr)?;
@@ -752,7 +821,7 @@ impl Cpu {
             }
             StrPost(t, n, off) => {
                 if n == Reg::SCS {
-                    self.cycles += self.cost.shadow_penalty;
+                    self.shadow_accesses += 1;
                 }
                 let addr = self.regs.read(n);
                 self.mem.write_u64(addr, self.regs.read(t))?;
@@ -886,6 +955,20 @@ impl Cpu {
     /// Returns the [`Fault`] that terminated execution, or
     /// [`Fault::Timeout`] if the budget ran out.
     pub fn run(&mut self, budget: u64) -> Result<Outcome, Fault> {
+        let result = self.run_inner(budget);
+        if telemetry::enabled() {
+            if let Err(fault) = &result {
+                telemetry::counter(
+                    &format!("cpu_faults_total{{kind=\"{}\"}}", fault.label()),
+                    1,
+                );
+            }
+            self.publish_telemetry();
+        }
+        result
+    }
+
+    fn run_inner(&mut self, budget: u64) -> Result<Outcome, Fault> {
         for _ in 0..budget {
             if let Some(status) = self.step()? {
                 let exit_code = match status {
@@ -901,6 +984,61 @@ impl Cpu {
             }
         }
         Err(Fault::Timeout)
+    }
+
+    /// Publishes the delta of every monotonic performance counter since the
+    /// previous publish into the active telemetry sink. [`Cpu::run`] calls
+    /// this on every exit path; harnesses that drive [`Cpu::step`] directly
+    /// (fault-injection trials) call it at trial end. No-op, with no
+    /// watermark movement, while telemetry is disabled.
+    pub fn publish_telemetry(&mut self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let mark = self.tmark;
+        let (hits, misses) = self.pac_cache_stats;
+        let deltas = [
+            ("cpu_cycles_total", self.cycles - mark.cycles),
+            ("cpu_insns_total", self.instructions - mark.instructions),
+            (
+                "cpu_insns_class_total{class=\"pointer_auth\"}",
+                self.counters.pointer_auth - mark.counters.pointer_auth,
+            ),
+            (
+                "cpu_insns_class_total{class=\"memory\"}",
+                self.counters.memory - mark.counters.memory,
+            ),
+            (
+                "cpu_insns_class_total{class=\"branch\"}",
+                self.counters.branches - mark.counters.branches,
+            ),
+            (
+                "cpu_insns_class_total{class=\"other\"}",
+                self.counters.other - mark.counters.other,
+            ),
+            ("cpu_pac_memo_total{result=\"hit\"}", hits - mark.pac_hits),
+            (
+                "cpu_pac_memo_total{result=\"miss\"}",
+                misses - mark.pac_misses,
+            ),
+            (
+                "cpu_shadow_accesses_total",
+                self.shadow_accesses - mark.shadow_accesses,
+            ),
+        ];
+        for (name, delta) in deltas {
+            if delta > 0 {
+                telemetry::counter(name, delta);
+            }
+        }
+        self.tmark = TelemetryMark {
+            cycles: self.cycles,
+            instructions: self.instructions,
+            counters: self.counters,
+            pac_hits: hits,
+            pac_misses: misses,
+            shadow_accesses: self.shadow_accesses,
+        };
     }
 }
 

@@ -52,6 +52,7 @@ mod fault;
 mod insn;
 pub mod kernel;
 mod memory;
+pub mod profile;
 pub mod program;
 mod regs;
 pub mod trace;
@@ -61,5 +62,6 @@ pub use cpu::{Context, Cpu, InsnCounters, Outcome, RunStatus};
 pub use fault::Fault;
 pub use insn::{Cond, Instruction};
 pub use memory::{Memory, Perms, LAYOUT};
+pub use profile::{FunctionProfile, ProfileSpan};
 pub use program::{LinkError, Program};
 pub use regs::Reg;

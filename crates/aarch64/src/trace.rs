@@ -1,7 +1,12 @@
 //! Execution tracing and disassembly — the debugging surface a real
 //! simulator ships with.
+//!
+//! The ring buffer itself now lives in `pacstack_telemetry` as the generic
+//! [`Ring`]; this module keeps the CPU-specific entry type, the
+//! disassembler, and a deprecated `Trace` alias for source compatibility.
 
 use crate::{Cpu, Instruction};
+use pacstack_telemetry::Ring;
 use std::fmt;
 
 /// One retired instruction in an execution trace.
@@ -11,7 +16,10 @@ pub struct TraceEntry {
     pub pc: u64,
     /// The instruction.
     pub insn: Instruction,
-    /// Cumulative cycle count *after* this instruction retired.
+    /// Cumulative cycle count *after* this instruction retired — always
+    /// equal to [`Cpu::cycles`](crate::Cpu::cycles) at the retire point,
+    /// shadow-stack surcharge included, because the CPU charges the whole
+    /// [`CostModel::cost`](crate::CostModel::cost) before recording.
     pub cycles: u64,
 }
 
@@ -27,70 +35,23 @@ impl fmt::Display for TraceEntry {
     }
 }
 
-/// A bounded execution trace: keeps the most recent `capacity` entries.
+/// A bounded execution trace: keeps the most recent entries.
 ///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use pacstack_aarch64::trace::Trace;
 ///
 /// let trace = Trace::new(128);
 /// assert_eq!(trace.capacity(), 128);
 /// assert!(trace.entries().is_empty());
 /// ```
-#[derive(Debug, Clone, Default)]
-pub struct Trace {
-    entries: Vec<TraceEntry>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl Trace {
-    /// Creates a trace buffer holding at most `capacity` entries.
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            entries: Vec::new(),
-            capacity,
-            dropped: 0,
-        }
-    }
-
-    /// Records one entry, evicting the oldest if full.
-    pub fn record(&mut self, entry: TraceEntry) {
-        if self.entries.len() == self.capacity {
-            self.entries.remove(0);
-            self.dropped += 1;
-        }
-        self.entries.push(entry);
-    }
-
-    /// The retained entries, oldest first.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
-    }
-
-    /// How many entries were evicted.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// The configured capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-}
-
-impl fmt::Display for Trace {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.dropped > 0 {
-            writeln!(f, "... {} earlier instructions elided ...", self.dropped)?;
-        }
-        for entry in &self.entries {
-            writeln!(f, "{entry}")?;
-        }
-        Ok(())
-    }
-}
+#[deprecated(
+    since = "0.1.0",
+    note = "the ring buffer moved to the telemetry subsystem; use `pacstack_telemetry::Ring<TraceEntry>`"
+)]
+pub type Trace = Ring<TraceEntry>;
 
 /// Disassembles the loaded image around an address: `context` instructions
 /// before and after, with a marker at `addr`.
@@ -119,7 +80,11 @@ mod tests {
     use crate::{Program, Reg};
 
     #[test]
-    fn trace_evicts_oldest() {
+    #[allow(deprecated)]
+    fn deprecated_trace_alias_still_works() {
+        // The pre-migration API: `Trace::new`, `record`, `entries`,
+        // `dropped` — pinned so downstream users of the alias keep
+        // compiling against the telemetry-backed ring.
         let mut trace = Trace::new(2);
         for i in 0..4u64 {
             trace.record(TraceEntry {

@@ -2,6 +2,7 @@
 
 use crate::{AcsConfig, AcsViolation, JmpBuf, Masking};
 use pacstack_pauth::{PaKeys, PointerAuth};
+use pacstack_telemetry as telemetry;
 
 /// One activation frame as it appears in attacker-visible stack memory.
 ///
@@ -126,6 +127,9 @@ impl AuthenticatedCallStack {
     /// Function-entry instrumentation (paper Listing 2/3 prologue):
     /// spills `aret_{i-1}` to the stack and sets `CR ← aret_i`.
     pub fn call(&mut self, ret: u64) {
+        if telemetry::enabled() {
+            telemetry::counter("acs_calls_total", 1);
+        }
         let prev = self.cr;
         self.frames.push(Frame {
             stored_chain: prev,
@@ -149,6 +153,9 @@ impl AuthenticatedCallStack {
     /// Panics if called on an empty chain (a return past `main`).
     pub fn ret(&mut self) -> Result<u64, AcsViolation> {
         let frame = self.frames.pop().expect("return from an empty call stack");
+        if telemetry::enabled() {
+            telemetry::counter("acs_rets_total", 1);
+        }
         let prev = frame.stored_chain;
         let lr = self.cr ^ self.mask_for(prev);
         match self.pa.aut(&self.keys, self.config.key(), lr, prev) {
@@ -156,10 +163,15 @@ impl AuthenticatedCallStack {
                 self.cr = prev;
                 Ok(ret)
             }
-            Err(err) => Err(AcsViolation {
-                corrupted: err.corrupted,
-                depth: self.frames.len() + 1,
-            }),
+            Err(err) => {
+                if telemetry::enabled() {
+                    telemetry::counter("acs_violations_total", 1);
+                }
+                Err(AcsViolation {
+                    corrupted: err.corrupted,
+                    depth: self.frames.len() + 1,
+                })
+            }
         }
     }
 
@@ -190,6 +202,9 @@ impl AuthenticatedCallStack {
     ///
     /// Returns [`AcsViolation`] if the buffer's binding does not verify.
     pub fn longjmp(&mut self, buf: &JmpBuf) -> Result<u64, AcsViolation> {
+        if telemetry::enabled() {
+            telemetry::counter("acs_longjmps_total", 1);
+        }
         let key = self.config.key();
         let lr = buf.bound_ret ^ self.pa.pac(&self.keys, key, buf.sp, buf.chain);
         match self.pa.aut(&self.keys, key, lr, buf.chain) {
@@ -198,10 +213,15 @@ impl AuthenticatedCallStack {
                 self.frames.truncate(buf.depth);
                 Ok(ret)
             }
-            Err(err) => Err(AcsViolation {
-                corrupted: err.corrupted,
-                depth: self.depth(),
-            }),
+            Err(err) => {
+                if telemetry::enabled() {
+                    telemetry::counter("acs_violations_total", 1);
+                }
+                Err(AcsViolation {
+                    corrupted: err.corrupted,
+                    depth: self.depth(),
+                })
+            }
         }
     }
 

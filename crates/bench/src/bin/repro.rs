@@ -17,12 +17,30 @@
 //! repro faults     §3/§6.2   fault-injection coverage matrix + supervisor economics
 //! repro all        everything above
 //! repro perf       before/after PAC fast-path benchmarks (not part of `all`)
+//! repro trace      deterministic telemetry capture + export (not part of `all`)
 //! ```
 //!
 //! `repro perf` accepts `--quick` (a fast smoke variant for CI) and
-//! `--out <file>` (where to write the bench JSON; default `BENCH_pr3.json`).
+//! `--out <file>` (where to write the bench JSON; default `BENCH_pr4.json`).
 //! It re-executes this binary with `PACSTACK_REFERENCE_PAC=1` to time the
-//! pre-optimisation pipeline and byte-compares the two arms' stdout.
+//! pre-optimisation pipeline and byte-compares the two arms' stdout, and
+//! with `PACSTACK_TELEMETRY=1` to verify the telemetry sink is free when
+//! disabled and invisible when enabled.
+//!
+//! `repro trace` enables the telemetry sink, drives a fixed scenario
+//! through every instrumented layer, prints a summary plus the Prometheus
+//! metrics dump to stdout, and writes `metrics.prom`, `trace.json`
+//! (chrome://tracing) and `flamegraph.txt` to `--out <dir>` (default
+//! `results/trace`). All artifacts are clocked on simulated cycles and are
+//! byte-identical at any `--jobs` count. `--quick` shrinks the scenario
+//! for CI, where the dump is golden-diffed.
+//!
+//! Any *other* experiment can be captured by setting `PACSTACK_TELEMETRY`
+//! in the environment: `PACSTACK_TELEMETRY=<dir>` enables the sink for the
+//! whole run and writes the same three artifacts to `<dir>` on exit
+//! (`PACSTACK_TELEMETRY=1` enables capture without exporting — used by the
+//! perf harness to price the instrumentation alone). Stdout is unaffected
+//! either way: enabling telemetry never changes results.
 //!
 //! Add `--save <dir>` to also write each section to `<dir>/<name>.txt`
 //! (artifact-evaluation style).
@@ -34,7 +52,8 @@
 //! merge in index order. Per-experiment throughput/occupancy statistics go
 //! to stderr, never stdout, so saved tables stay reproducible.
 
-use pacstack_bench::{exec, experiments, perf, render};
+use pacstack_bench::{exec, experiments, perf, render, tracecmd};
+use pacstack_telemetry as telemetry;
 use std::env;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -138,6 +157,39 @@ fn run_faults(save: &Option<PathBuf>) -> Result<(), ()> {
     }
 }
 
+/// Applies the `PACSTACK_TELEMETRY` environment contract: any non-empty
+/// value enables the sink for the whole run; a value other than `1` is the
+/// directory the merged capture is exported to on exit.
+fn telemetry_from_env() -> Option<PathBuf> {
+    let value = env::var("PACSTACK_TELEMETRY").ok()?;
+    if value.is_empty() {
+        return None;
+    }
+    telemetry::enable();
+    (value != "1").then(|| PathBuf::from(value))
+}
+
+/// Exports the ambient capture at exit when `PACSTACK_TELEMETRY` named a
+/// directory.
+fn export_env_telemetry(dir: &PathBuf) {
+    let merged = telemetry::snapshot();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    for (name, body) in [
+        ("metrics.prom", telemetry::export::prometheus(&merged)),
+        ("trace.json", telemetry::export::chrome_json(&merged)),
+        ("flamegraph.txt", telemetry::export::flame(&merged)),
+    ] {
+        let path = dir.join(name);
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
     let mut save: Option<PathBuf> = None;
@@ -174,6 +226,7 @@ fn main() -> ExitCode {
             experiment = arg;
         }
     }
+    let telemetry_dir = telemetry_from_env();
     match experiment.as_str() {
         "table1" => run_table1(&save),
         "figure5" => {
@@ -199,9 +252,16 @@ fn main() -> ExitCode {
             }
         }
         "perf" => {
-            let out = out.unwrap_or_else(|| PathBuf::from("BENCH_pr3.json"));
+            let out = out.unwrap_or_else(|| PathBuf::from("BENCH_pr4.json"));
             if let Err(e) = perf::run(quick, &out) {
                 eprintln!("perf harness failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "trace" => {
+            let out = out.unwrap_or_else(|| PathBuf::from("results/trace"));
+            if let Err(e) = tracecmd::run(quick, &out) {
+                eprintln!("trace capture failed: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -227,6 +287,9 @@ fn main() -> ExitCode {
             eprintln!("unknown experiment {other:?}; see the module docs");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(dir) = &telemetry_dir {
+        export_env_telemetry(dir);
     }
     // Throughput/occupancy of every engine invocation — stderr only, so
     // stdout (and --save artifacts) stay byte-identical across job counts.

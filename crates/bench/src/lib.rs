@@ -15,5 +15,6 @@
 pub mod experiments;
 pub mod perf;
 pub mod render;
+pub mod tracecmd;
 
 pub use pacstack_exec as exec;

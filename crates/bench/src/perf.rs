@@ -23,6 +23,12 @@
 //!   difference is a hard error — the optimisation gate is that caching
 //!   changes no numbers.
 //!
+//! * **`repro_* wall telemetry`** — the zero-overhead-when-disabled gate
+//!   for the telemetry subsystem: the same end-to-end run with the sink
+//!   enabled (`PACSTACK_TELEMETRY=1`, *before*) and disabled (*after*),
+//!   byte-comparing stdout, plus a coarse cross-run comparison against the
+//!   committed `BENCH_pr3.json` after-arm.
+//!
 //! All timings use a monotonic clock on the current machine; before/after
 //! pairs in one JSON file are always from the same run.
 
@@ -191,8 +197,14 @@ fn bench_pac_insns(quick: bool) -> PerfRecord {
 
 /// Runs the experiment driver as a child process and returns
 /// `(stdout, wall-clock ms)`. `reference` selects the pre-optimisation arm
-/// via `PACSTACK_REFERENCE_PAC`.
-fn exec_repro(target: &str, jobs: usize, reference: bool) -> Result<(Vec<u8>, f64), String> {
+/// via `PACSTACK_REFERENCE_PAC`; `telemetry` enables the telemetry sink in
+/// the child via `PACSTACK_TELEMETRY=1` (capture only, no export I/O).
+fn exec_repro(
+    target: &str,
+    jobs: usize,
+    reference: bool,
+    telemetry: bool,
+) -> Result<(Vec<u8>, f64), String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate repro binary: {e}"))?;
     let mut cmd = Command::new(exe);
     cmd.arg(target).stderr(Stdio::null());
@@ -203,6 +215,11 @@ fn exec_repro(target: &str, jobs: usize, reference: bool) -> Result<(Vec<u8>, f6
         cmd.env("PACSTACK_REFERENCE_PAC", "1");
     } else {
         cmd.env_remove("PACSTACK_REFERENCE_PAC");
+    }
+    if telemetry {
+        cmd.env("PACSTACK_TELEMETRY", "1");
+    } else {
+        cmd.env_remove("PACSTACK_TELEMETRY");
     }
     let start = Instant::now();
     let out = cmd
@@ -218,8 +235,8 @@ fn exec_repro(target: &str, jobs: usize, reference: bool) -> Result<(Vec<u8>, f6
 /// End-to-end wall time of `repro <target>`, fast path vs reference arm,
 /// with the byte-identity gate between the two arms' stdout.
 fn bench_e2e(target: &str, jobs: usize) -> Result<PerfRecord, String> {
-    let (ref_out, ref_ms) = exec_repro(target, jobs, true)?;
-    let (fast_out, fast_ms) = exec_repro(target, jobs, false)?;
+    let (ref_out, ref_ms) = exec_repro(target, jobs, true, false)?;
+    let (fast_out, fast_ms) = exec_repro(target, jobs, false, false)?;
     if ref_out != fast_out {
         return Err(format!(
             "determinism gate FAILED: `repro {target}` stdout differs between the \
@@ -240,6 +257,78 @@ fn bench_e2e(target: &str, jobs: usize) -> Result<PerfRecord, String> {
         unit: "ms",
         jobs,
     })
+}
+
+/// Noise band for wall-clock comparisons against a committed bench file:
+/// timings from another run (and possibly another machine state) jitter far
+/// beyond the per-call cost being guarded, so this gate only catches gross
+/// regressions. The same-run telemetry-on/off pair is the precise check.
+const CROSS_RUN_NOISE: f64 = 1.25;
+
+/// Extracts the `after` score of one bench entry from a committed
+/// `BENCH_*.json` file (the schema is our own `to_json` output).
+fn baseline_after(json: &str, bench: &str) -> Option<f64> {
+    let entry = json.find(&format!("\"bench\": \"{bench}\""))?;
+    let rest = &json[entry..];
+    let field = rest.find("\"after\": ")?;
+    let tail = &rest[field + "\"after\": ".len()..];
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// The zero-overhead-when-disabled gate for the telemetry subsystem:
+///
+/// * runs `repro <target>` with the telemetry sink enabled
+///   (`PACSTACK_TELEMETRY=1`) and disabled, byte-comparing stdout — an
+///   enabled sink must never change results;
+/// * records the pair as `repro_<target>_wall_telemetry` (before = sink
+///   on, after = sink off);
+/// * when the committed `BENCH_pr3.json` is present, asserts the
+///   telemetry-off wall time stays within [`CROSS_RUN_NOISE`] of the PR 3
+///   after-arm, recording the comparison as `repro_<target>_wall_vs_pr3`.
+fn bench_e2e_telemetry(target: &str, jobs: usize) -> Result<Vec<PerfRecord>, String> {
+    let (on_out, on_ms) = exec_repro(target, jobs, false, true)?;
+    let (off_out, off_ms) = exec_repro(target, jobs, false, false)?;
+    if on_out != off_out {
+        return Err(format!(
+            "telemetry gate FAILED: `repro {target}` stdout differs with the sink \
+             enabled vs disabled ({} vs {} bytes) — instrumentation changed results",
+            on_out.len(),
+            off_out.len()
+        ));
+    }
+    let mut records = vec![PerfRecord {
+        bench: format!("repro_{target}_wall_telemetry"),
+        before: Some(on_ms),
+        after: off_ms,
+        unit: "ms",
+        jobs,
+    }];
+    let pr3_bench = format!("repro_{target}_wall_jobs{jobs}");
+    match std::fs::read_to_string("BENCH_pr3.json") {
+        Ok(json) => {
+            if let Some(pr3_after) = baseline_after(&json, &pr3_bench) {
+                if off_ms > pr3_after * CROSS_RUN_NOISE {
+                    return Err(format!(
+                        "telemetry gate FAILED: `repro {target}` telemetry-off wall time \
+                         {off_ms:.0} ms exceeds the BENCH_pr3.json after-arm \
+                         ({pr3_after:.0} ms) by more than the {CROSS_RUN_NOISE}x noise band"
+                    ));
+                }
+                records.push(PerfRecord {
+                    bench: format!("repro_{target}_wall_vs_pr3"),
+                    before: Some(pr3_after),
+                    after: off_ms,
+                    unit: "ms",
+                    jobs,
+                });
+            } else {
+                eprintln!("BENCH_pr3.json has no {pr3_bench} entry; skipping cross-run gate");
+            }
+        }
+        Err(_) => eprintln!("BENCH_pr3.json not found; skipping cross-run gate"),
+    }
+    Ok(records)
 }
 
 /// Serialises the records as a JSON array matching the committed
@@ -311,12 +400,15 @@ pub fn run(quick: bool, out: &Path) -> Result<(), String> {
     if quick {
         // Smoke proxy: one representative experiment, sequential only.
         records.push(bench_e2e("table1", 1)?);
+        records.extend(bench_e2e_telemetry("table1", 1)?);
     } else {
         records.push(bench_e2e("all", 1)?);
         records.push(bench_e2e("all", 0)?);
+        records.extend(bench_e2e_telemetry("all", 1)?);
     }
     print!("{}", render_table(&records, quick));
     println!("determinism gate: reference arm and fast path produced byte-identical stdout");
+    println!("telemetry gate: enabled and disabled sinks produced byte-identical stdout");
     std::fs::write(out, to_json(&records))
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     eprintln!("wrote {}", out.display());
@@ -374,6 +466,32 @@ mod tests {
         };
         assert_eq!(rate.speedup(), Some(5.0));
         assert_eq!(wall.speedup(), Some(5.0));
+    }
+
+    #[test]
+    fn baseline_after_reads_the_committed_schema() {
+        let json = to_json(&[
+            PerfRecord {
+                bench: "repro_all_wall_jobs1".into(),
+                before: Some(900.0),
+                after: 850.5,
+                unit: "ms",
+                jobs: 1,
+            },
+            PerfRecord {
+                bench: "repro_all_wall_jobsauto".into(),
+                before: None,
+                after: 300.0,
+                unit: "ms",
+                jobs: 0,
+            },
+        ]);
+        assert_eq!(baseline_after(&json, "repro_all_wall_jobs1"), Some(850.5));
+        assert_eq!(
+            baseline_after(&json, "repro_all_wall_jobsauto"),
+            Some(300.0)
+        );
+        assert_eq!(baseline_after(&json, "no_such_bench"), None);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The `repro trace` subcommand: a deterministic telemetry capture.
+//!
+//! Enables the telemetry sink, drives a fixed scenario through every
+//! instrumented layer — profiled NGINX workload runs, a fault-injection
+//! mini-campaign, an ACS call/return/longjmp exercise — and exports the
+//! merged data as a Prometheus text dump (also printed to stdout, where CI
+//! golden-diffs it), a Chrome `trace.json` and a collapsed-stack
+//! flamegraph.
+//!
+//! Everything is clocked on **simulated cycles**, never wall time, and all
+//! records merge in deterministic task order through the exec engine — so
+//! every artifact is byte-identical at any `--jobs` count and across
+//! repeated runs.
+
+use pacstack_acs::{AcsConfig, AuthenticatedCallStack};
+use pacstack_chaos::campaign::{chaos_module, coverage};
+use pacstack_compiler::Scheme;
+use pacstack_exec as exec;
+use pacstack_pauth::{PaKeys, PointerAuth, VaLayout};
+use pacstack_telemetry as telemetry;
+use pacstack_telemetry::{export, Merged};
+use pacstack_workloads::{measure, nginx};
+use rand::Rng;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Instruction budget for one profiled workload run — generous: the NGINX
+/// module exits long before this, and exceeding it is a panic (a workload
+/// must run clean).
+const BUDGET: u64 = 50_000_000;
+
+/// Everything `repro trace` produces, as strings so tests can byte-compare
+/// artifacts without touching the filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceArtifacts {
+    /// The human-readable capture summary printed before the metrics dump.
+    pub summary: String,
+    /// Prometheus-style text dump of all counters and histograms.
+    pub prometheus: String,
+    /// Chrome `trace.json` (open in `chrome://tracing` or Perfetto).
+    pub chrome_json: String,
+    /// Collapsed-stack flamegraph text (`stack cycles` per line).
+    pub flame: String,
+}
+
+impl TraceArtifacts {
+    /// The exact stdout of `repro trace`: summary, then the Prometheus
+    /// dump (the part CI golden-diffs).
+    pub fn stdout(&self) -> String {
+        format!("{}{}", self.summary, self.prometheus)
+    }
+}
+
+/// Profiled workload runs: each (track, scheme) pair runs the NGINX server
+/// module with per-function cycle attribution, fanned through the exec
+/// engine so records exercise the deterministic task-order merge.
+fn phase_workloads(quick: bool) -> (u64, u64) {
+    let rounds = if quick { 1 } else { 3 };
+    let module = nginx::server_module(rounds);
+    let arms: [(&str, Scheme); 2] = [
+        ("nginx/baseline", Scheme::Baseline),
+        ("nginx/pacstack", Scheme::PacStack),
+    ];
+    let run = exec::parallel_map(&arms, |_, (track, scheme)| {
+        measure::run_module_profiled(&module, *scheme, BUDGET, track)
+    });
+    exec::stats::record("trace/workloads", run.stats);
+    let base = run.results[0].cycles;
+    let inst = run.results[1].cycles;
+    (base, inst)
+}
+
+/// Fault-injection mini-campaign over every chaos target, populating the
+/// injection-window occupancy counters and the trial-latency histogram.
+///
+/// # Errors
+///
+/// Returns a message if any chaos target fails to prepare.
+fn phase_chaos(quick: bool) -> Result<(u64, u64), String> {
+    let trials_per_class = if quick { 2 } else { 6 };
+    let report = coverage(&chaos_module(), trials_per_class, 0xFA17C)
+        .map_err(|e| format!("chaos campaign failed to prepare: {e}"))?;
+    let mut trials = 0u64;
+    let mut detected = 0u64;
+    for target in &report {
+        for class in pacstack_chaos::FaultClass::ALL {
+            let cell = target.cell(class);
+            trials += cell.total();
+            detected += cell.detected;
+        }
+    }
+    Ok((trials, detected))
+}
+
+/// ACS exercise: seeded call/return churn with one tampered return and one
+/// `setjmp`/`longjmp` per trial, driving the `acs_*` and `pauth_*`
+/// counters (including a fresh key generation per trial).
+fn phase_acs(quick: bool) -> u64 {
+    let trials = if quick { 8 } else { 32 };
+    let run = exec::run_trials(0x7E1E_ACE5, trials, |_, rng| {
+        let pa = PointerAuth::new(VaLayout::default());
+        let keys = PaKeys::from_seed(rng.gen());
+        let mut acs = AuthenticatedCallStack::new(pa, keys, AcsConfig::default());
+        acs.call(0x40_1000);
+        let buf = acs.setjmp(0x40_5000, 0x7fff_0000);
+        acs.call(0x40_2000);
+        acs.call(0x40_3000);
+        assert_eq!(acs.ret().ok(), Some(0x40_3000));
+        acs.longjmp(&buf).ok();
+        acs.call(0x40_4000);
+        acs.frames_mut()[1].stored_chain ^= 1; // adversary tampers the slot
+        assert!(acs.ret().is_err());
+        acs.ret().ok();
+    });
+    exec::stats::record("trace/acs", run.stats);
+    trials
+}
+
+/// Runs the full capture scenario and returns the merged telemetry plus
+/// the per-phase summary. Enables the global sink for the duration; the
+/// sink is restored to disabled (and the store cleared) before returning.
+///
+/// # Errors
+///
+/// Propagates phase failures (chaos preparation errors).
+pub fn capture(quick: bool) -> Result<TraceArtifacts, String> {
+    telemetry::reset();
+    telemetry::enable();
+    let result = capture_phases(quick);
+    let merged = telemetry::snapshot();
+    telemetry::disable();
+    telemetry::reset();
+    let summary = result?;
+    Ok(TraceArtifacts {
+        summary: render_summary(quick, &summary, &merged),
+        prometheus: export::prometheus(&merged),
+        chrome_json: export::chrome_json(&merged),
+        flame: export::flame(&merged),
+    })
+}
+
+/// Per-phase headline numbers for the summary block.
+struct PhaseSummary {
+    nginx_baseline_cycles: u64,
+    nginx_pacstack_cycles: u64,
+    chaos_trials: u64,
+    chaos_detected: u64,
+    acs_trials: u64,
+}
+
+fn capture_phases(quick: bool) -> Result<PhaseSummary, String> {
+    let (nginx_baseline_cycles, nginx_pacstack_cycles) = phase_workloads(quick);
+    let (chaos_trials, chaos_detected) = phase_chaos(quick)?;
+    let acs_trials = phase_acs(quick);
+    Ok(PhaseSummary {
+        nginx_baseline_cycles,
+        nginx_pacstack_cycles,
+        chaos_trials,
+        chaos_detected,
+        acs_trials,
+    })
+}
+
+fn render_summary(quick: bool, phases: &PhaseSummary, merged: &Merged) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "telemetry trace capture{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+    let _ = writeln!(
+        s,
+        "phase workloads  nginx profiled: baseline {} cycles, pacstack {} cycles",
+        phases.nginx_baseline_cycles, phases.nginx_pacstack_cycles
+    );
+    let _ = writeln!(
+        s,
+        "phase chaos      {} injection trials, {} detected crashes",
+        phases.chaos_trials, phases.chaos_detected
+    );
+    let _ = writeln!(
+        s,
+        "phase acs        {} call-chain trials",
+        phases.acs_trials
+    );
+    let _ = writeln!(
+        s,
+        "merged           {} counters, {} histograms, {} stacks, {} spans",
+        merged.counters.len(),
+        merged.histograms.len(),
+        merged.stacks.len(),
+        merged.spans.len()
+    );
+    s.push('\n');
+    s
+}
+
+/// Runs the capture, prints the summary + Prometheus dump to stdout and
+/// writes `metrics.prom`, `trace.json` and `flamegraph.txt` to `out_dir`.
+///
+/// # Errors
+///
+/// Propagates capture failures and I/O errors writing the artifacts.
+pub fn run(quick: bool, out_dir: &Path) -> Result<(), String> {
+    let artifacts = capture(quick)?;
+    print!("{}", artifacts.stdout());
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    for (name, body) in [
+        ("metrics.prom", &artifacts.prometheus),
+        ("trace.json", &artifacts.chrome_json),
+        ("flamegraph.txt", &artifacts.flame),
+    ] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn quick_capture_produces_all_artifacts() {
+        let artifacts = capture(true).unwrap();
+        assert!(artifacts
+            .summary
+            .contains("telemetry trace capture (quick mode)"));
+        assert!(artifacts.prometheus.contains("acs_calls_total"));
+        assert!(artifacts.prometheus.contains("cpu_cycles_total"));
+        assert!(artifacts.prometheus.contains("chaos_trials_total"));
+        assert!(artifacts.prometheus.contains("pauth_pac_computes_total"));
+        assert!(artifacts.chrome_json.contains("nginx/pacstack"));
+        assert!(artifacts.flame.contains("nginx/baseline;"));
+        // The capture leaves the global sink disabled and empty.
+        assert!(!telemetry::enabled());
+        assert_eq!(telemetry::snapshot(), Merged::default());
+    }
+}

@@ -7,6 +7,7 @@ use pacstack_aarch64::{Cpu, Fault, Instruction, LinkError, Reg, RunStatus};
 use pacstack_compiler::{lower, Module, Scheme};
 use pacstack_pauth::PaKey;
 use pacstack_qarma::Key128;
+use pacstack_telemetry as telemetry;
 use std::cell::RefCell;
 use std::fmt;
 
@@ -304,8 +305,30 @@ impl PreparedTarget {
         })
     }
 
-    /// The trial loop proper, on an already-restored CPU.
+    /// The trial loop, plus end-of-trial telemetry: outcome counts, fault
+    /// attribution, the cycle-latency histogram, and the CPU's own counter
+    /// deltas — all in the simulated-cycle domain, so campaign telemetry is
+    /// as thread-count-independent as the outcomes themselves.
     fn run_plan_on(&self, cpu: &mut Cpu, plan: &InjectionPlan) -> TrialOutcome {
+        let outcome = self.trial_loop(cpu, plan);
+        if telemetry::enabled() {
+            telemetry::counter(
+                &format!("chaos_trials_total{{outcome=\"{}\"}}", outcome.label()),
+                1,
+            );
+            if let TrialOutcome::DetectedCrash(fault) = outcome {
+                telemetry::counter(
+                    &format!("chaos_detected_total{{fault=\"{}\"}}", fault.label()),
+                    1,
+                );
+            }
+            telemetry::observe_cycles("chaos_trial_cycles", cpu.cycles());
+            cpu.publish_telemetry();
+        }
+        outcome
+    }
+
+    fn trial_loop(&self, cpu: &mut Cpu, plan: &InjectionPlan) -> TrialOutcome {
         let mut signals = SignalDelivery::new();
         let mut pending = plan.injections.as_slice();
 
@@ -318,6 +341,20 @@ impl PreparedTarget {
                     break;
                 }
                 pending = &pending[1..];
+                if telemetry::enabled() {
+                    // `windows` is in retire order, so occupancy is a
+                    // binary search: did the glitch land on a retire index
+                    // where return-address state was live?
+                    let occupied = self.reference.windows.binary_search(&injection.at).is_ok();
+                    telemetry::counter(
+                        if occupied {
+                            "chaos_injections_total{window=\"in\"}"
+                        } else {
+                            "chaos_injections_total{window=\"out\"}"
+                        },
+                        1,
+                    );
+                }
                 if let Err(fault) = apply(cpu, &mut signals, self.handler, injection.kind) {
                     return TrialOutcome::DetectedCrash(fault);
                 }

@@ -28,9 +28,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The engine hosts every experiment in the workspace; a panic here kills
+// whole campaigns, so fallible paths must be structured. Tests opt back in.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod stats;
 
+use pacstack_telemetry as telemetry;
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -191,6 +195,17 @@ fn chunk_size(trials: u64, jobs: usize) -> u64 {
     (trials / (jobs as u64 * 8)).clamp(1, 4096)
 }
 
+/// Runs one trial body, scoped to a telemetry task when telemetry is
+/// recording. The `(invocation, trial-index)` key makes everything the
+/// body records merge in trial order regardless of which worker ran it —
+/// the telemetry side of the engine's parallel-equals-sequential claim.
+fn scoped<T>(invocation: Option<u64>, index: u64, f: impl FnOnce() -> T) -> T {
+    match invocation {
+        Some(inv) => telemetry::in_task(inv, index, f),
+        None => f(),
+    }
+}
+
 /// Runs `trials` independent trials of the experiment identified by
 /// `stream`, fanning them across the configured worker pool.
 ///
@@ -204,13 +219,18 @@ where
 {
     let jobs = jobs().min(trials.max(1) as usize).max(1);
     let chunk = chunk_size(trials, jobs);
+    let invocation = telemetry::begin_invocation();
+    if invocation.is_some() {
+        telemetry::counter("exec_invocations_total", 1);
+        telemetry::counter("exec_trials_total", trials);
+    }
     let start = Instant::now();
 
     if jobs == 1 {
         let mut results = Vec::with_capacity(trials as usize);
         for i in 0..trials {
             let mut rng = TrialRng::new(stream, i);
-            results.push(body(i, &mut rng));
+            results.push(scoped(invocation, i, || body(i, &mut rng)));
         }
         let wall = start.elapsed();
         return Run {
@@ -245,19 +265,19 @@ where
                     let mut out = Vec::with_capacity((hi - lo) as usize);
                     for i in lo..hi {
                         let mut rng = TrialRng::new(stream, i);
-                        out.push(body(i, &mut rng));
+                        out.push(scoped(invocation, i, || body(i, &mut rng)));
                     }
                     busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     collected
                         .lock()
-                        .expect("worker never panics holding the lock")
+                        .unwrap_or_else(|e| e.into_inner())
                         .push((lo, out));
                 });
             }
         });
     }
 
-    let mut chunks = collected.into_inner().expect("all workers joined cleanly");
+    let mut chunks = collected.into_inner().unwrap_or_else(|e| e.into_inner());
     chunks.sort_unstable_by_key(|&(lo, _)| lo);
     let chunk_count = chunks.len() as u64;
     let mut results = Vec::with_capacity(trials as usize);

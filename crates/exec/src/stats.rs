@@ -16,13 +16,13 @@ static REGISTRY: Mutex<Vec<(String, ExecStats)>> = Mutex::new(Vec::new());
 pub fn record(label: impl Into<String>, stats: ExecStats) {
     REGISTRY
         .lock()
-        .expect("stats registry lock")
+        .unwrap_or_else(|e| e.into_inner())
         .push((label.into(), stats));
 }
 
 /// Takes all recorded entries, leaving the registry empty.
 pub fn drain() -> Vec<(String, ExecStats)> {
-    std::mem::take(&mut REGISTRY.lock().expect("stats registry lock"))
+    std::mem::take(&mut REGISTRY.lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 /// Renders entries as a fixed-width table with a totals row, suitable for

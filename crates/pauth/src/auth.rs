@@ -2,9 +2,22 @@
 
 use crate::{PaKey, PaKeys, VaLayout};
 use pacstack_qarma::{reference, Sigma};
+use pacstack_telemetry as telemetry;
 use std::error::Error;
 use std::fmt;
 use std::sync::OnceLock;
+
+/// Telemetry counter name for PAC computations under one key register.
+/// Static strings keep the hot path allocation-free when recording.
+fn pac_compute_counter(key: PaKey) -> &'static str {
+    match key {
+        PaKey::Ia => "pauth_pac_computes_total{key=\"IA\"}",
+        PaKey::Ib => "pauth_pac_computes_total{key=\"IB\"}",
+        PaKey::Da => "pauth_pac_computes_total{key=\"DA\"}",
+        PaKey::Db => "pauth_pac_computes_total{key=\"DB\"}",
+        PaKey::Ga => "pauth_pac_computes_total{key=\"GA\"}",
+    }
+}
 
 /// Whether the process is pinned to the pre-optimisation PAC pipeline: the
 /// cell-based QARMA reference path with the key schedule re-derived per call,
@@ -114,6 +127,9 @@ impl PointerAuth {
     /// the canonical address), so the result depends only on the address
     /// bits, tag and modifier.
     pub fn compute_pac(&self, keys: &PaKeys, key: PaKey, pointer: u64, modifier: u64) -> u64 {
+        if telemetry::enabled() {
+            telemetry::counter(pac_compute_counter(key), 1);
+        }
         if reference_pac_forced() {
             return self.compute_pac_reference(keys, key, pointer, modifier);
         }
@@ -220,6 +236,9 @@ impl PointerAuth {
     /// `pacga` — the generic MAC: returns `H_GA(x, y)` in the upper 32 bits
     /// of the result, lower 32 bits zero, as the architecture specifies.
     pub fn pacga(&self, keys: &PaKeys, x: u64, y: u64) -> u64 {
+        if telemetry::enabled() {
+            telemetry::counter("pauth_pacga_total", 1);
+        }
         if reference_pac_forced() {
             return reference::encrypt(keys.key(PaKey::Ga), Sigma::Sigma1, 7, x, y)
                 & 0xFFFF_FFFF_0000_0000;

@@ -7,6 +7,7 @@
 //! PACStack adversary model relies on.
 
 use pacstack_qarma::{Key128, Qarma64};
+use pacstack_telemetry as telemetry;
 use rand::Rng;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -112,6 +113,10 @@ impl PaKeys {
         for key in &mut keys {
             *key = Key128::new(rng.gen(), rng.gen());
         }
+        if telemetry::enabled() {
+            telemetry::counter("pauth_keygens_total", 1);
+            telemetry::counter("pauth_cipher_rebuilds_total", 5);
+        }
         Self {
             ciphers: keys.map(Qarma64::recommended),
             keys,
@@ -135,6 +140,10 @@ impl PaKeys {
     /// Replaces one key register (kernel-only operation in the model),
     /// rebuilding its scheduled cipher and bumping the generation counter.
     pub fn set_key(&mut self, key: PaKey, value: Key128) {
+        if telemetry::enabled() {
+            telemetry::counter("pauth_key_writes_total", 1);
+            telemetry::counter("pauth_cipher_rebuilds_total", 1);
+        }
         self.keys[key.index()] = value;
         self.ciphers[key.index()] = Qarma64::recommended(value);
         self.generation = self.generation.wrapping_add(1);

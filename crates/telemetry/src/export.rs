@@ -1,0 +1,163 @@
+//! Exporters: Prometheus text dump, Chrome `trace.json`, collapsed-stack
+//! flamegraph text.
+//!
+//! Every exporter is a pure function of a [`Merged`] snapshot, iterates
+//! only sorted collections, and formats with exact integer arithmetic —
+//! so equal snapshots always render to byte-identical artifacts, which is
+//! what the CI golden-diff and the jobs-1-vs-4 determinism tests rely on.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Merged;
+
+/// Renders counters and histograms in Prometheus text exposition format.
+///
+/// Counter names may carry inline label sets (`cpu_insns_total{class="x"}`)
+/// which pass through verbatim. Histograms render as cumulative `_bucket`
+/// rows with log2 `le` edges, plus `_sum` and `_count`.
+pub fn prometheus(merged: &Merged) -> String {
+    let mut out = String::new();
+    for (name, value) in &merged.counters {
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &merged.histograms {
+        for (edge, cumulative) in hist.cumulative() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+        let _ = writeln!(out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as a Chrome trace-event JSON document (open with
+/// `chrome://tracing` or Perfetto). Each distinct track becomes a thread
+/// row: a `thread_name` metadata event plus `ph:"X"` complete events whose
+/// `ts`/`dur` are simulated cycles presented as microseconds.
+pub fn chrome_json(merged: &Merged) -> String {
+    let mut tracks: Vec<&str> = merged.spans.iter().map(|s| s.track.as_str()).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    let tid = |track: &str| -> usize {
+        tracks
+            .binary_search(&track)
+            .map(|i| i + 1)
+            .unwrap_or(usize::MAX)
+    };
+
+    let mut events = Vec::with_capacity(tracks.len() + merged.spans.len());
+    for (i, track) in tracks.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            i + 1,
+            json_escape(track)
+        ));
+    }
+    for span in &merged.spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            json_escape(&span.name),
+            json_escape(span.cat),
+            tid(&span.track),
+            span.start,
+            span.dur
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, event) in events.iter().enumerate() {
+        out.push_str(event);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders collapsed call stacks in flamegraph.pl input format: one
+/// `frame;frame;frame count` line per stack, sorted by stack.
+pub fn flame(merged: &Merged) -> String {
+    let mut out = String::new();
+    for (stack, cycles) in &merged.stacks {
+        let _ = writeln!(out, "{stack} {cycles}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CycleHistogram;
+    use crate::span::SpanEvent;
+
+    fn sample() -> Merged {
+        let mut merged = Merged::default();
+        merged.counters.insert("b_total".into(), 2);
+        merged.counters.insert("a_total{k=\"v\"}".into(), 1);
+        let mut h = CycleHistogram::new();
+        h.observe(3);
+        h.observe(200);
+        merged.histograms.insert("lat_cycles".into(), h);
+        merged.stacks.insert("t;main;f".into(), 40);
+        merged.stacks.insert("t;main".into(), 10);
+        merged
+            .spans
+            .push(SpanEvent::new("t", "main", "test", 0, 50));
+        merged.spans.push(SpanEvent::new("t", "f", "test", 5, 40));
+        merged
+    }
+
+    #[test]
+    fn prometheus_is_sorted_and_complete() {
+        let text = prometheus(&sample());
+        let a = text.find("a_total").unwrap_or(usize::MAX);
+        let b = text.find("b_total").unwrap_or(usize::MAX);
+        assert!(a < b, "{text}");
+        assert!(text.contains("lat_cycles_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lat_cycles_sum 203"), "{text}");
+        assert!(text.contains("lat_cycles_count 2"), "{text}");
+    }
+
+    #[test]
+    fn chrome_json_has_thread_metadata_and_events() {
+        let json = chrome_json(&sample());
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ts\":5"), "{json}");
+        assert!(json.ends_with("]}\n"), "{json}");
+    }
+
+    #[test]
+    fn flame_lines_are_stack_then_cycles() {
+        let text = flame(&sample());
+        assert_eq!(text, "t;main 10\nt;main;f 40\n");
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

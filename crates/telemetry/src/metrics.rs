@@ -1,0 +1,151 @@
+//! Cycle-domain histograms.
+//!
+//! The histogram is the only aggregate in the subsystem that is not a plain
+//! sum, so it is built to merge commutatively: fixed power-of-two buckets,
+//! a count and a cycle sum. Merging two histograms in either order yields
+//! identical bytes in every exporter, which is what lets worker threads
+//! record independently and still produce deterministic output.
+
+/// Number of buckets: one per possible bit-length of a `u64` value, plus
+/// one for zero.
+pub const BUCKETS: usize = 65;
+
+/// A histogram over simulated-cycle observations with log2 bucket edges.
+///
+/// Bucket `i` holds observations whose bit length is `i` (bucket 0 holds
+/// exactly the value 0, bucket 1 holds 1, bucket 2 holds 2..=3, and so on).
+/// All operations are exact integer arithmetic; merge is commutative and
+/// associative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl CycleHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a cycle value: its bit length.
+    #[inline]
+    pub fn bucket_index(cycles: u64) -> usize {
+        (64 - cycles.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper edge of bucket `i` (`u64::MAX` for the last bucket).
+    pub fn bucket_edge(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, cycles: u64) {
+        self.buckets[Self::bucket_index(cycles)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(cycles);
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed cycle values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw bucket counts, lowest edge first.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates `(inclusive_upper_edge, cumulative_count)` over the buckets
+    /// that are needed to describe the data: every bucket up to and
+    /// including the highest non-empty one. Exporters render these as
+    /// Prometheus `le`-style cumulative buckets.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let highest = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        self.buckets[..=highest]
+            .iter()
+            .enumerate()
+            .scan(0u64, |acc, (i, &c)| {
+                *acc += c;
+                Some((Self::bucket_edge(i), *acc))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(CycleHistogram::bucket_index(0), 0);
+        assert_eq!(CycleHistogram::bucket_index(1), 1);
+        assert_eq!(CycleHistogram::bucket_index(2), 2);
+        assert_eq!(CycleHistogram::bucket_index(3), 2);
+        assert_eq!(CycleHistogram::bucket_index(4), 3);
+        assert_eq!(CycleHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = CycleHistogram::new();
+        let mut b = CycleHistogram::new();
+        for v in [0u64, 1, 5, 200, 4096] {
+            a.observe(v);
+        }
+        for v in [3u64, 3, 7, 1_000_000] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 9);
+    }
+
+    #[test]
+    fn cumulative_covers_through_highest_bucket() {
+        let mut h = CycleHistogram::new();
+        h.observe(0);
+        h.observe(6); // bucket 3 (edge 7)
+        let rows: Vec<(u64, u64)> = h.cumulative().collect();
+        assert_eq!(rows, vec![(0, 1), (1, 1), (3, 1), (7, 2)]);
+    }
+}

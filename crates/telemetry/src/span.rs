@@ -1,0 +1,39 @@
+//! Completed span events on the simulated-cycle timeline.
+
+/// A completed span: a named interval on a track, measured in simulated
+/// cycles. Tracks map to rows in the Chrome trace viewer (one per workload
+/// scheme, chaos target, …); `start` and `dur` are cycle counts, rendered
+/// as microseconds by the Chrome exporter so the viewer's zoom and ruler
+/// behave sensibly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Timeline row this span belongs to (e.g. `nginx/full`).
+    pub track: String,
+    /// Human-readable name (usually a function symbol).
+    pub name: String,
+    /// Category tag grouping spans in the viewer (e.g. `workload`).
+    pub cat: &'static str,
+    /// Start, in simulated cycles from the start of the span's run.
+    pub start: u64,
+    /// Duration in simulated cycles (inclusive of callees).
+    pub dur: u64,
+}
+
+impl SpanEvent {
+    /// Builds a span event.
+    pub fn new(
+        track: impl Into<String>,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: u64,
+        dur: u64,
+    ) -> Self {
+        Self {
+            track: track.into(),
+            name: name.into(),
+            cat,
+            start,
+            dur,
+        }
+    }
+}

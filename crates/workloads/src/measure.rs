@@ -2,6 +2,12 @@
 
 use pacstack_aarch64::{Cpu, Fault, RunStatus};
 use pacstack_compiler::{lower, Module, Scheme};
+use pacstack_telemetry as telemetry;
+use pacstack_telemetry::SpanEvent;
+
+/// Span-buffer cap for [`run_module_profiled`]; overflow is counted, not
+/// silently dropped (`workload_profile_spans_dropped_total`).
+const PROFILE_SPAN_CAP: usize = 1 << 16;
 
 /// Result of running one module under one scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +40,67 @@ pub fn run_module(module: &Module, scheme: Scheme, budget: u64) -> Measurement {
         },
         Err(Fault::Timeout) => panic!("workload exceeded {budget} instructions"),
         Err(fault) => panic!("workload faulted under {scheme}: {fault}"),
+    }
+}
+
+/// Runs `module` under `scheme` with per-function cycle attribution and
+/// publishes the profile through the telemetry sink.
+///
+/// Collapsed call stacks land as flamegraph entries prefixed with `track`
+/// (`"{track};{stack}"`), completed activations as span events on the
+/// `track` timeline, and the run's architectural counters via
+/// [`Cpu::publish_telemetry`]. With telemetry disabled this is exactly
+/// [`run_module`] plus a dormant profiler: the measurement is identical
+/// because profiling never touches architectural state.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_module`].
+pub fn run_module_profiled(
+    module: &Module,
+    scheme: Scheme,
+    budget: u64,
+    track: &str,
+) -> Measurement {
+    let program = lower(module, scheme);
+    let mut cpu = Cpu::with_seed(program, 0xACE5);
+    cpu.enable_profile(PROFILE_SPAN_CAP);
+    let out = match cpu.run(budget) {
+        Ok(out) => out,
+        Err(Fault::Timeout) => panic!("workload exceeded {budget} instructions"),
+        Err(fault) => panic!("workload faulted under {scheme}: {fault}"),
+    };
+    let code = match out.status {
+        RunStatus::Exited(code) => code,
+        RunStatus::Syscall(n) => panic!("workload raised unexpected syscall {n}"),
+    };
+    if telemetry::enabled() {
+        if let Some(profile) = cpu.take_profile() {
+            for (stack, self_cycles) in &profile.stacks {
+                telemetry::stack(&format!("{track};{stack}"), *self_cycles);
+            }
+            for span in &profile.spans {
+                telemetry::span(SpanEvent::new(
+                    track,
+                    span.name.as_str(),
+                    "function",
+                    span.start,
+                    span.dur,
+                ));
+            }
+            if profile.dropped_spans > 0 {
+                telemetry::counter(
+                    "workload_profile_spans_dropped_total",
+                    profile.dropped_spans,
+                );
+            }
+        }
+        telemetry::observe_cycles("workload_run_cycles", out.cycles);
+    }
+    Measurement {
+        cycles: out.cycles,
+        instructions: out.instructions,
+        exit_code: code,
     }
 }
 
@@ -103,6 +170,18 @@ mod tests {
     #[test]
     fn geometric_mean_of_empty_is_zero() {
         assert_eq!(geometric_mean_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run() {
+        // Profiling must be architecturally invisible: same cycles, same
+        // instructions, same exit code, telemetry on or off.
+        let m = tiny_module();
+        for scheme in [Scheme::Baseline, Scheme::PacStack] {
+            let plain = run_module(&m, scheme, 1_000_000);
+            let profiled = run_module_profiled(&m, scheme, 1_000_000, "test");
+            assert_eq!(plain, profiled, "{scheme}");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`attacks`] | `pacstack-attacks` | The paper's adversary: ROP, reuse, collision harvesting, guessing, signing gadget |
 //! | [`workloads`] | `pacstack-workloads` | SPEC-profile benchmarks, the NGINX SSL-TPS model, and the crash-restart supervisor economics |
 //! | [`chaos`] | `pacstack-chaos` | Deterministic fault-injection engine: seeded glitch plans, classified outcomes, detection-coverage campaigns |
+//! | [`telemetry`] | `pacstack-telemetry` | Deterministic, cycle-domain observability: counters, histograms, spans, flamegraph/Chrome-trace/Prometheus exporters |
 //!
 //! # Quick start
 //!
@@ -80,4 +81,5 @@ pub use pacstack_chaos as chaos;
 pub use pacstack_compiler as compiler;
 pub use pacstack_pauth as pauth;
 pub use pacstack_qarma as qarma;
+pub use pacstack_telemetry as telemetry;
 pub use pacstack_workloads as workloads;
